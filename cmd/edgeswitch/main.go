@@ -1,0 +1,122 @@
+// Command edgeswitch switches edges in a graph: load an edge-list file
+// (or generate a named dataset), perform t operations or hit a target
+// visit rate, sequentially or in parallel, and optionally write the
+// result.
+//
+// Examples:
+//
+//	edgeswitch -dataset miami -scale 0.1 -x 1 -p 8 -scheme HP-U
+//	edgeswitch -in graph.txt -t 1000000 -p 16 -scheme CP -steps 100 -out shuffled.txt
+//	edgeswitch -in graph.txt -x 0.5            # sequential, half the edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeswitch"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "input edge-list file (text, or binary with .bin extension)")
+		dataset = flag.String("dataset", "", "generate a dataset stand-in instead of reading a file (one of: miami newyork losangeles flickr livejournal smallworld erdosrenyi pa)")
+		scale   = flag.Float64("scale", 1, "dataset scale multiplier (with -dataset)")
+		outPath = flag.String("out", "", "write the switched graph to this file")
+		tOps    = flag.Int64("t", 0, "number of edge switch operations (0: derive from -x)")
+		x       = flag.Float64("x", 1, "target visit rate in (0,1] used when -t is 0")
+		ranks   = flag.Int("p", 1, "number of parallel ranks (1: sequential algorithm)")
+		scheme  = flag.String("scheme", "CP", "partitioning scheme: CP, HP-D, HP-M, HP-U")
+		steps   = flag.Int64("steps", 1, "number of steps (parallel; step size = t/steps)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		useTCP  = flag.Bool("tcp", false, "route parallel messages over loopback TCP")
+		quiet   = flag.Bool("q", false, "suppress the per-rank table")
+		mode    = flag.String("mode", "plain", "constraint mode: plain, connected, bipartite, jdd (sequential only)")
+		left    = flag.Int("left", 0, "bipartition size (bipartite mode: vertices 0..left-1 are one side)")
+	)
+	flag.Parse()
+
+	if err := run(*inPath, *dataset, *scale, *outPath, *tOps, *x, *ranks, *scheme, *steps, *seed, *useTCP, *quiet, *mode, *left); err != nil {
+		fmt.Fprintln(os.Stderr, "edgeswitch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, dataset string, scale float64, outPath string, tOps int64, x float64,
+	ranks int, scheme string, steps int64, seed uint64, useTCP, quiet bool, mode string, left int) error {
+
+	var g *edgeswitch.Graph
+	var err error
+	switch {
+	case inPath != "" && dataset != "":
+		return fmt.Errorf("use either -in or -dataset, not both")
+	case inPath != "":
+		g, err = edgeswitch.LoadGraphFile(inPath, seed)
+	case dataset != "":
+		g, err = edgeswitch.Generate(dataset, scale, seed)
+	default:
+		return fmt.Errorf("need -in FILE or -dataset NAME (datasets: %v)", edgeswitch.Datasets())
+	}
+	if err != nil {
+		return err
+	}
+
+	t := tOps
+	if t == 0 {
+		t, err = edgeswitch.TargetOps(g.M(), x)
+		if err != nil {
+			return err
+		}
+	}
+	stepSize := int64(0)
+	if steps > 1 {
+		stepSize = (t + steps - 1) / steps
+	}
+	fmt.Printf("graph: n=%d m=%d | t=%d ops | p=%d scheme=%s mode=%s\n", g.N(), g.M(), t, ranks, scheme, mode)
+
+	var rep *edgeswitch.Report
+	switch mode {
+	case "plain", "":
+		rep, err = edgeswitch.Run(g, edgeswitch.Options{
+			Ops:      t,
+			Ranks:    ranks,
+			Scheme:   edgeswitch.Scheme(scheme),
+			StepSize: stepSize,
+			Seed:     seed,
+			UseTCP:   useTCP,
+		})
+	case "connected":
+		rep, err = edgeswitch.RunConnected(g, t, seed)
+	case "bipartite":
+		rep, err = edgeswitch.RunBipartite(g, left, t, seed)
+	case "jdd":
+		rep, err = edgeswitch.RunJointDegree(g, t, seed)
+	default:
+		return fmt.Errorf("unknown mode %q (plain, connected, bipartite, jdd)", mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("completed %d ops (%d restarts, %d forfeited) in %v\n",
+		rep.Ops, rep.Restarts, rep.Forfeited, rep.Elapsed)
+	fmt.Printf("observed visit rate: %.6f\n", rep.VisitRate)
+	if rep.Parallel != nil && !quiet {
+		fmt.Println("rank\tvertices\tedges0\tedgesN\tops")
+		for i := range rep.Parallel.RankOps {
+			fmt.Printf("%d\t%d\t%d\t%d\t%d\n", i,
+				rep.Parallel.RankVertices[i],
+				rep.Parallel.RankInitialEdges[i],
+				rep.Parallel.RankFinalEdges[i],
+				rep.Parallel.RankOps[i])
+		}
+	}
+	if outPath != "" {
+		if err := edgeswitch.SaveGraphFile(outPath, rep.Result); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}

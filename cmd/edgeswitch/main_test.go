@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.txt")
+	err := run("", "erdosrenyi", 0.02, out, 500, 1, 2, "HP-U", 2, 7, false, true, "plain", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output not written: %v", err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.txt")
+	if err := os.WriteFile(in, []byte("# 6 5\n0 1\n1 2\n2 3\n3 4\n4 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", 1, "", 20, 1, 1, "CP", 1, 3, false, true, "plain", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "ring.txt")
+	// A ring plus chords: connected, bipartite-violating; fine for
+	// plain/connected/jdd.
+	content := "# 8 10\n0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n6 7\n0 7\n0 4\n2 6\n"
+	if err := os.WriteFile(in, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"plain", "connected", "jdd"} {
+		if err := run(in, "", 1, "", 10, 1, 1, "CP", 1, 5, false, true, mode, 0); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	// Bipartite mode on a bipartite file.
+	bip := filepath.Join(dir, "bip.txt")
+	if err := os.WriteFile(bip, []byte("# 6 5\n0 3\n0 4\n1 4\n1 5\n2 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bip, "", 1, "", 10, 1, 1, "CP", 1, 5, false, true, "bipartite", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", 1, "", 10, 1, 1, "CP", 1, 1, false, true, "plain", 0); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run("x.txt", "miami", 1, "", 10, 1, 1, "CP", 1, 1, false, true, "plain", 0); err == nil {
+		t.Fatal("both -in and -dataset accepted")
+	}
+	if err := run("", "erdosrenyi", 0.02, "", 10, 1, 1, "CP", 1, 1, false, true, "bogus", 0); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if err := run("", "nonexistent", 1, "", 10, 1, 1, "CP", 1, 1, false, true, "plain", 0); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Command esworker runs one rank of a fully distributed parallel
+// edge-switch job: each OS process hosts one rank, rank 0 doubles as the
+// TCP coordinator, and every process loads the graph file and keeps only
+// its own partition. This is the multi-process counterpart of the
+// in-process `edgeswitch -p N` mode — ranks share nothing but the wire.
+//
+// Launch a 4-rank job on one machine:
+//
+//	esworker -graph g.txt -size 4 -rank 0 -coordinator 127.0.0.1:9870 -x 1 &
+//	esworker -graph g.txt -size 4 -rank 1 -coordinator 127.0.0.1:9870 -x 1 &
+//	esworker -graph g.txt -size 4 -rank 2 -coordinator 127.0.0.1:9870 -x 1 &
+//	esworker -graph g.txt -size 4 -rank 3 -coordinator 127.0.0.1:9870 -x 1 &
+//
+// or let rank 0 spawn its peers locally:
+//
+//	esworker -graph g.txt -size 4 -rank 0 -coordinator 127.0.0.1:9870 -x 1 -spawn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"edgeswitch"
+	"edgeswitch/internal/core"
+	"edgeswitch/internal/mpi"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file every rank loads (text, or binary with .bin)")
+		size      = flag.Int("size", 1, "total number of ranks")
+		rank      = flag.Int("rank", 0, "this process's rank")
+		coord     = flag.String("coordinator", "127.0.0.1:9870", "rank 0's listen address")
+		tOps      = flag.Int64("t", 0, "edge switch operations (0: derive from -x)")
+		x         = flag.Float64("x", 1, "target visit rate when -t is 0")
+		scheme    = flag.String("scheme", "HP-U", "partitioning scheme: CP, HP-D, HP-M, HP-U")
+		steps     = flag.Int64("steps", 1, "number of steps")
+		seed      = flag.Uint64("seed", 1, "random seed (must match across ranks)")
+		outPath   = flag.String("out", "", "rank 0 writes the switched graph here")
+		spawn     = flag.Bool("spawn", false, "rank 0 spawns ranks 1..size-1 as local child processes")
+		timeout   = flag.Duration("timeout", 30*time.Second, "coordinator dial timeout")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *size, *rank, *coord, *tOps, *x, *scheme, *steps, *seed, *outPath, *spawn, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", *rank, err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath string, size, rank int, coord string, tOps int64, x float64,
+	scheme string, steps int64, seed uint64, outPath string, spawn bool, timeout time.Duration) error {
+
+	if graphPath == "" {
+		return fmt.Errorf("need -graph FILE")
+	}
+	g, err := edgeswitch.LoadGraphFile(graphPath, seed)
+	if err != nil {
+		return err
+	}
+	t := tOps
+	if t == 0 {
+		t, err = edgeswitch.TargetOps(g.M(), x)
+		if err != nil {
+			return err
+		}
+	}
+	stepSize := int64(0)
+	if steps > 1 {
+		stepSize = (t + steps - 1) / steps
+	}
+
+	var children []*exec.Cmd
+	if spawn && rank == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		for r := 1; r < size; r++ {
+			cmd := exec.Command(exe,
+				"-graph", graphPath,
+				"-size", strconv.Itoa(size),
+				"-rank", strconv.Itoa(r),
+				"-coordinator", coord,
+				"-t", strconv.FormatInt(t, 10),
+				"-scheme", scheme,
+				"-steps", strconv.FormatInt(steps, 10),
+				"-seed", strconv.FormatUint(seed, 10),
+				"-timeout", timeout.String(),
+			)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("spawning rank %d: %w", r, err)
+			}
+			children = append(children, cmd)
+		}
+	}
+
+	pw, err := mpi.JoinDistributed(rank, size, coord, timeout)
+	if err != nil {
+		return err
+	}
+	defer pw.Close()
+
+	var res *core.Result
+	err = pw.Run(func(c *mpi.Comm) error {
+		r, err := core.RunRank(c, g, t, core.Config{
+			Scheme:   core.Scheme(scheme),
+			StepSize: stepSize,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	if rank == 0 {
+		fmt.Printf("distributed run complete: %d ops (%d restarts, %d forfeited) in %v across %d processes\n",
+			res.Ops, res.Restarts, res.Forfeited, res.Elapsed, size)
+		fmt.Printf("observed visit rate: %.6f\n", res.VisitRate)
+		for i := range res.RankOps {
+			fmt.Printf("rank %d: %d ops, %d->%d edges, %d msgs\n", i,
+				res.RankOps[i], res.RankInitialEdges[i], res.RankFinalEdges[i], res.RankMessages[i])
+		}
+		if outPath != "" {
+			if err := edgeswitch.SaveGraphFile(outPath, res.Graph); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", outPath)
+		}
+	}
+	for _, cmd := range children {
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("child rank failed: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	content := "# 12 12\n0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n6 7\n7 8\n8 9\n9 10\n10 11\n0 11\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleRank(t *testing.T) {
+	g := writeTestGraph(t)
+	out := filepath.Join(t.TempDir(), "out.txt")
+	err := run(g, 1, 0, freePort(t), 20, 1, "CP", 1, 3, out, false, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output missing: %v", err)
+	}
+}
+
+// TestRunMultiRankInProcess drives the worker's run() once per "process"
+// concurrently — the same path cmd-line invocations exercise across OS
+// processes.
+func TestRunMultiRankInProcess(t *testing.T) {
+	g := writeTestGraph(t)
+	addr := freePort(t)
+	const size = 3
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for rank := 0; rank < size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = run(g, size, rank, addr, 30, 1, "HP-D", 3, 9, "", false, 10*time.Second)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second); err == nil {
+		t.Fatal("missing graph accepted")
+	}
+	if err := run("/nonexistent/file.txt", 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

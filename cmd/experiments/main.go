@@ -1,0 +1,64 @@
+// Command experiments reproduces the paper's tables and figures. Each
+// experiment id names one artifact (see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -run fig4 -scale 0.25 -maxranks 16
+//	experiments -run all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeswitch/internal/harness"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the experiments and exit")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		scale    = flag.Float64("scale", 0, "dataset scale multiplier (default 0.25)")
+		seed     = flag.Uint64("seed", 0, "random seed (default 42)")
+		maxRanks = flag.Int("maxranks", 0, "largest processor count in sweeps (default: #cores)")
+		reps     = flag.Int("reps", 0, "repetitions for statistical experiments (default 5)")
+		quick    = flag.Bool("quick", false, "tiny smoke-test sizes")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("id        paper artifact    description")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-9s %-17s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: need -run ID or -list")
+		os.Exit(2)
+	}
+	cfg := harness.Config{
+		Scale:    *scale,
+		Seed:     *seed,
+		MaxRanks: *maxRanks,
+		Reps:     *reps,
+		Quick:    *quick,
+		Out:      os.Stdout,
+	}
+	if *run == "all" {
+		for _, e := range harness.Experiments() {
+			if err := harness.Run(e.ID, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if err := harness.Run(*run, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

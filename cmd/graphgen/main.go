@@ -1,0 +1,87 @@
+// Command graphgen generates the evaluation graphs (Table 2 stand-ins)
+// or custom random graphs and writes them as edge-list files.
+//
+// Examples:
+//
+//	graphgen -dataset miami -scale 0.5 -out miami.txt
+//	graphgen -model er -n 100000 -m 1000000 -out er.bin
+//	graphgen -model pa -n 100000 -d 10 -out pa.txt
+//	graphgen -model ws -n 100000 -d 20 -beta 0.1 -out ws.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeswitch"
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "named dataset stand-in (miami newyork losangeles flickr livejournal smallworld erdosrenyi pa)")
+		scale   = flag.Float64("scale", 1, "dataset scale multiplier")
+		model   = flag.String("model", "", "custom model: er, pa, ws, hk, contact")
+		n       = flag.Int("n", 100000, "vertex count (custom models)")
+		m       = flag.Int64("m", 0, "edge count (er model)")
+		d       = flag.Int("d", 10, "degree parameter (pa: edges per vertex; ws: lattice degree)")
+		beta    = flag.Float64("beta", 0.1, "rewiring probability (ws model)")
+		pt      = flag.Float64("pt", 0.4, "triad-formation probability (hk model)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "output file (text, or binary with .bin extension); default stdout")
+	)
+	flag.Parse()
+	if err := run(*dataset, *scale, *model, *n, *m, *d, *beta, *pt, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, model string, n int, m int64, d int,
+	beta, pt float64, seed uint64, out string) error {
+
+	r := rng.New(seed)
+	var g *graph.Graph
+	var err error
+	switch {
+	case dataset != "" && model != "":
+		return fmt.Errorf("use either -dataset or -model, not both")
+	case dataset != "":
+		g, err = gen.Dataset(r, dataset, scale)
+	case model == "er":
+		if m == 0 {
+			m = int64(n) * 10
+		}
+		g, err = gen.ErdosRenyi(r, n, m)
+	case model == "pa":
+		g, err = gen.PrefAttachment(r, n, d)
+	case model == "ws":
+		g, err = gen.SmallWorld(r, n, d, beta)
+	case model == "hk":
+		g, err = gen.HolmeKim(r, n, d, pt)
+	case model == "contact":
+		g, err = gen.Contact(r, gen.ContactConfig{N: n, AvgDegree: float64(d), CommunitySize: 40, WithinFrac: 0.8})
+	case model == "rmat":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		if m == 0 {
+			m = int64(n) * int64(d) / 2
+		}
+		g, err = gen.RMAT(r, scale, m, 0.57, 0.19, 0.19)
+	default:
+		return fmt.Errorf("need -dataset NAME or -model {er|pa|ws|hk|contact|rmat}")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated n=%d m=%d\n", g.N(), g.M())
+	if out == "" {
+		return edgeswitch.WriteGraph(os.Stdout, g)
+	}
+	return edgeswitch.SaveGraphFile(out, g)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunModels(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name  string
+		model string
+		n     int
+		m     int64
+		d     int
+	}{
+		{"er", "er", 200, 800, 0},
+		{"pa", "pa", 200, 0, 4},
+		{"ws", "ws", 200, 0, 4},
+		{"hk", "hk", 200, 0, 4},
+		{"contact", "contact", 300, 0, 12},
+		{"rmat", "rmat", 256, 1000, 8},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.name+".txt")
+		if err := run("", 1, c.model, c.n, c.m, c.d, 0.1, 0.4, 3, out); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		fi, err := os.Stat(out)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: no output (%v)", c.name, err)
+		}
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.bin")
+	if err := run("erdosrenyi", 0.01, "", 0, 0, 0, 0, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", 1, "", 10, 0, 2, 0.1, 0.4, 1, ""); err == nil {
+		t.Fatal("missing model accepted")
+	}
+	if err := run("miami", 1, "er", 10, 0, 2, 0.1, 0.4, 1, ""); err == nil {
+		t.Fatal("both dataset and model accepted")
+	}
+	if err := run("", 1, "bogus", 10, 0, 2, 0.1, 0.4, 1, ""); err == nil {
+		t.Fatal("bogus model accepted")
+	}
+}

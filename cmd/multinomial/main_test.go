@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run(1_000_000, 5, 3, 7, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShowClamped(t *testing.T) {
+	// show > l must not panic.
+	if err := run(10_000, 3, 2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadWorld(t *testing.T) {
+	if err := run(100, 2, 0, 1, 1); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}

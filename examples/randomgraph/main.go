@@ -1,0 +1,70 @@
+// Random graph with a prescribed degree sequence — the application that
+// motivates the paper (§1): the Havel–Hakimi construction realizes the
+// sequence deterministically, then edge switching randomizes the graph
+// within its degree class. Two different seeds yield two different
+// random members of the class with the identical degree sequence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgeswitch"
+)
+
+func main() {
+	// A heterogeneous degree sequence: a few hubs, a heavy middle class,
+	// and many leaves — the "heterogeneous graphs" of the paper's title.
+	var degrees []int
+	for i := 0; i < 5; i++ {
+		degrees = append(degrees, 60) // hubs
+	}
+	for i := 0; i < 200; i++ {
+		degrees = append(degrees, 8)
+	}
+	for i := 0; i < 600; i++ {
+		degrees = append(degrees, 3)
+	}
+	// Keep the sum even (a graphical sequence needs it).
+	sum := 0
+	for _, d := range degrees {
+		sum += d
+	}
+	if sum%2 == 1 {
+		degrees[len(degrees)-1]++
+	}
+
+	a, err := edgeswitch.RandomGraph(degrees, 1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := edgeswitch.RandomGraph(degrees, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generated two random graphs: n=%d m=%d each\n", a.N(), a.M())
+
+	// Same degree sequence...
+	da, db := a.Degrees(), b.Degrees()
+	for v := range degrees {
+		if da[v] != degrees[v] || db[v] != degrees[v] {
+			log.Fatalf("vertex %d: degrees %d/%d, want %d", v, da[v], db[v], degrees[v])
+		}
+	}
+	fmt.Println("both realize the prescribed degree sequence exactly")
+
+	// ...different graphs.
+	shared := 0
+	for _, e := range a.Edges() {
+		if b.HasEdge(e) {
+			shared++
+		}
+	}
+	fmt.Printf("edge overlap between the two samples: %d of %d (%.2f%%)\n",
+		shared, a.M(), 100*float64(shared)/float64(a.M()))
+	if shared == int(a.M()) {
+		log.Fatal("samples are identical — randomization failed")
+	}
+	fmt.Println("the samples are distinct members of the same degree class")
+}

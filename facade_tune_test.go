@@ -1,0 +1,17 @@
+package edgeswitch
+
+import "testing"
+
+func TestTuneStepSizeFacade(t *testing.T) {
+	g, err := Generate("erdosrenyi", 0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TuneStepSize(g, 400, 2, HPU, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepSize < 1 || res.BaselineER <= 0 {
+		t.Fatalf("tune result %+v", res)
+	}
+}

@@ -1,0 +1,3 @@
+module edgeswitch
+
+go 1.22

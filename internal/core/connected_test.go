@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// isConnected checks connectivity of a Graph via its full adjacency.
+func isConnected(g *graph.Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	full := g.FullAdjacency()
+	seen := make([]bool, g.N())
+	queue := []graph.Vertex{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range full[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// connectedTestGraph builds a connected random graph (ring + chords).
+func connectedTestGraph(t *testing.T, n int, extra int64) *graph.Graph {
+	t.Helper()
+	r := rng.New(77)
+	edges := make([]graph.Edge, 0, int64(n)+extra)
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{U: graph.Vertex(i), V: graph.Vertex((i + 1) % n)})
+	}
+	have := map[graph.Edge]bool{}
+	for _, e := range edges {
+		have[e.Norm()] = true
+	}
+	for int64(len(edges)) < int64(n)+extra {
+		e := graph.Edge{U: graph.Vertex(r.Intn(n)), V: graph.Vertex(r.Intn(n))}.Norm()
+		if e.IsLoop() || have[e] {
+			continue
+		}
+		have[e] = true
+		edges = append(edges, e)
+	}
+	g, err := graph.FromEdges(n, edges, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSequentialConnectedPreservesConnectivity(t *testing.T) {
+	g := connectedTestGraph(t, 300, 300)
+	if !isConnected(g) {
+		t.Fatal("test graph not connected")
+	}
+	out, st, err := SequentialConnected(g, 2000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 2000 {
+		t.Fatalf("ops %d", st.Ops)
+	}
+	if !isConnected(out) {
+		t.Fatal("result disconnected")
+	}
+	if err := out.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameDegrees(degreeMultiset(g), degreeMultiset(out)) {
+		t.Fatal("degree multiset changed")
+	}
+	if out.M() != g.M() {
+		t.Fatalf("edge count changed: %d -> %d", out.M(), g.M())
+	}
+}
+
+// TestConnectedRejectsDisconnectingSwitches uses a barbell graph (two
+// dense blobs joined by a single bridge) where many switches would cut
+// the bridge; connectivity must survive anyway.
+func TestConnectedRejectsDisconnectingSwitches(t *testing.T) {
+	r := rng.New(2)
+	var edges []graph.Edge
+	// Two K5s.
+	for blob := 0; blob < 2; blob++ {
+		base := blob * 5
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				edges = append(edges, graph.Edge{U: graph.Vertex(base + i), V: graph.Vertex(base + j)})
+			}
+		}
+	}
+	// One bridge.
+	edges = append(edges, graph.Edge{U: 0, V: 5})
+	g, err := graph.FromEdges(10, edges, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := SequentialConnected(g, 300, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isConnected(out) {
+		t.Fatal("barbell disconnected")
+	}
+	if st.Restarts == 0 {
+		t.Fatal("expected restarts on a barbell graph")
+	}
+}
+
+func TestConnectedSwitcherRejectsDisconnectedInput(t *testing.T) {
+	r := rng.New(4)
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewConnectedSwitcher(g, r); err == nil {
+		t.Fatal("disconnected input accepted")
+	}
+}
+
+func TestConnectedSwitcherErrors(t *testing.T) {
+	r := rng.New(5)
+	g, err := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewConnectedSwitcher(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Switch(5); err == nil {
+		t.Fatal("single-edge switch accepted")
+	}
+	if _, err := cs.Switch(-1); err == nil {
+		t.Fatal("negative t accepted")
+	}
+	if cs.M() != 1 {
+		t.Fatalf("M = %d", cs.M())
+	}
+}
+
+// TestConnectedMixes: the constraint must still allow substantial mixing
+// on a well-connected graph.
+func TestConnectedMixes(t *testing.T) {
+	g := connectedTestGraph(t, 400, 1200)
+	orig := map[graph.Edge]bool{}
+	for _, e := range g.Edges() {
+		orig[e] = true
+	}
+	out, _, err := SequentialConnected(g, 6000, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, e := range out.Edges() {
+		if orig[e] {
+			same++
+		}
+	}
+	if float64(same) > 0.3*float64(g.M()) {
+		t.Fatalf("only %d/%d edges changed", int(g.M())-same, g.M())
+	}
+}
+
+func TestConfigurationModelBaseline(t *testing.T) {
+	r := rng.New(7)
+	// Heterogeneous degrees: the configuration model must erase edges.
+	degrees := make([]int, 120)
+	for i := range degrees {
+		degrees[i] = 4
+	}
+	degrees[0] = 80
+	degrees[1] = 80
+	res, err := gen.ConfigurationModel(r, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Graph.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+	if res.ErasedLoops+res.ErasedParallel == 0 {
+		t.Fatal("expected erased stubs with hub-heavy degrees")
+	}
+	// Degrees can only shrink, never grow.
+	got := res.Graph.Degrees()
+	for v, d := range got {
+		if d > degrees[v] {
+			t.Fatalf("vertex %d degree %d exceeds request %d", v, d, degrees[v])
+		}
+	}
+}
+
+func TestConfigurationModelExactOnLowDegrees(t *testing.T) {
+	r := rng.New(8)
+	degrees := make([]int, 2000)
+	for i := range degrees {
+		degrees[i] = 2
+	}
+	res, err := gen.ConfigurationModel(r, degrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With degree 2 on 2000 vertices collisions are rare; realized sum
+	// must be close to requested.
+	var want, got int64
+	for _, d := range degrees {
+		want += int64(d)
+	}
+	for _, d := range res.Graph.Degrees() {
+		got += int64(d)
+	}
+	if got < want*95/100 {
+		t.Fatalf("realized degree sum %d far below %d", got, want)
+	}
+}
+
+func TestConfigurationModelValidation(t *testing.T) {
+	r := rng.New(9)
+	if _, err := gen.ConfigurationModel(r, []int{1}); err == nil {
+		t.Fatal("odd degree sum accepted")
+	}
+	if _, err := gen.ConfigurationModel(r, []int{-1, 1}); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+	if _, err := gen.ConfigurationModel(r, []int{2, 2}); err == nil {
+		t.Fatal("degree >= n accepted")
+	}
+}

@@ -1,0 +1,717 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/mpi"
+	"edgeswitch/internal/partition"
+	"edgeswitch/internal/randvar"
+	"edgeswitch/internal/rng"
+)
+
+// rankEngine is one rank's private world: its partition of the graph
+// (reduced adjacency lists of the vertices it owns), the in-flight
+// operation state, and the bookkeeping sets the protocol needs. Ranks
+// never touch each other's engines; everything flows through c.
+type rankEngine struct {
+	c   *mpi.Comm
+	pt  partition.Partitioner
+	rnd *rng.RNG
+
+	n int   // global vertex count
+	m int64 // global edge count (invariant)
+
+	// Local storage: verts lists owned vertices ascending; index maps a
+	// global vertex id to its slot; adj[slot] holds the reduced
+	// adjacency (global neighbour ids, each > the owner vertex); deg is
+	// the Fenwick tree over reduced degrees for O(log) uniform edge
+	// selection.
+	verts []graph.Vertex
+	index map[graph.Vertex]int32
+	adj   []graph.AdjSet
+	deg   *graph.Fenwick
+
+	initialEdges int64
+
+	// selfQ buffers messages this rank addressed to itself (local
+	// switches and locally-owned replacement edges). Bypassing the
+	// mailbox for them keeps per-pair FIFO (it is its own pair) and
+	// removes all locking from the p=1 and mostly-local fast paths.
+	selfQ []opMsg
+
+	// inHand holds edges provisionally removed by an in-flight operation
+	// this rank initiated (its e1) or is partnering (its e2); the value
+	// preserves the original flag for reinsertion on abort. potential
+	// holds replacement edges reserved at this rank (§4.5 issue 1).
+	inHand    map[graph.Edge]bool
+	potential map[graph.Edge]opID
+
+	// cumEdges is the step-start prefix-sum of per-rank edge counts used
+	// to draw the partner rank with probability |E_j|/|E|.
+	cumEdges []int64
+
+	// Initiator-side state: at most one own operation in flight.
+	myOp      *initOp
+	seq       uint64
+	remaining int64 // ops still to initiate this step
+	sentEOS   bool
+	eosOthers int
+
+	// curRestarts counts consecutive aborts of the operation currently
+	// being attempted. The partner-selection probabilities are stale
+	// within a step (they are refreshed only at step boundaries, §4.5),
+	// so on degenerate tiny graphs every candidate partner can be empty;
+	// past restartExplore the partner is drawn uniformly instead, and
+	// past restartForfeit the single operation is abandoned. Realistic
+	// partitions never approach either threshold.
+	curRestarts int64
+
+	// Stall detection (see mStalled in messages.go): myStalled is this
+	// rank's announced state; stalled/stalledCount track peers that have
+	// quota left but empty partitions.
+	myStalled    bool
+	stalled      []bool
+	stalledCount int
+
+	// Partner-side state: operations this rank is orchestrating.
+	partnerOps map[opID]*partnerOp
+
+	// Statistics.
+	opsInitiated int64
+	restarts     int64
+	forfeited    int64
+	msgsSent     int64
+}
+
+// initOp is the initiator's view of its in-flight operation.
+type initOp struct {
+	id opID
+	e1 graph.Edge
+}
+
+// Partner-op phases.
+const (
+	phaseReserving = iota
+	phaseCommitting
+	phaseReleasing
+)
+
+// Restart-escalation thresholds (see rankEngine.curRestarts).
+const (
+	restartExplore = 256
+	restartForfeit = 20000
+)
+
+// partnerOp is the partner's view of an operation it orchestrates.
+type partnerOp struct {
+	id        opID
+	initiator int
+	e2        graph.Edge
+	edges     [2]graph.Edge // replacement edges A, B
+	owners    [2]int
+	resolved  [2]bool
+	okay      [2]bool
+	phase     int
+	acksLeft  int
+}
+
+// newRankEngine loads a rank's partition and prepares its state.
+func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges []flaggedEdge, seed uint64) (*rankEngine, error) {
+	e := &rankEngine{
+		c:          c,
+		pt:         pt,
+		rnd:        rng.Split(seed, c.Rank()+2),
+		n:          n,
+		m:          m,
+		verts:      partition.LocalVertices(pt, n, c.Rank()),
+		inHand:     make(map[graph.Edge]bool),
+		potential:  make(map[graph.Edge]opID),
+		partnerOps: make(map[opID]*partnerOp),
+	}
+	e.index = make(map[graph.Vertex]int32, len(e.verts))
+	for i, v := range e.verts {
+		e.index[v] = int32(i)
+	}
+	e.adj = make([]graph.AdjSet, len(e.verts))
+	e.deg = graph.NewFenwick(len(e.verts))
+	for _, fe := range edges {
+		li, ok := e.index[fe.e.U]
+		if !ok {
+			return nil, fmt.Errorf("core: rank %d handed foreign edge %v", c.Rank(), fe.e)
+		}
+		if !e.adj[li].Insert(fe.e.V, fe.orig, e.rnd.Uint32()) {
+			return nil, fmt.Errorf("core: rank %d handed duplicate edge %v", c.Rank(), fe.e)
+		}
+		e.deg.Add(int(li), 1)
+	}
+	e.initialEdges = e.deg.Total()
+	return e, nil
+}
+
+// run executes t operations in steps of stepSize (§4.5's step protocol).
+func (e *rankEngine) run(t, stepSize int64) error {
+	if t == 0 {
+		return nil
+	}
+	for done := int64(0); done < t; done += stepSize {
+		s := stepSize
+		if t-done < s {
+			s = t - done
+		}
+		if err := e.prepareStep(s); err != nil {
+			return err
+		}
+		if err := e.stepLoop(); err != nil {
+			return err
+		}
+		if err := e.checkStepInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepareStep exchanges edge counts, rebuilds the selection prefix sums,
+// and draws this step's multinomial operation distribution.
+func (e *rankEngine) prepareStep(s int64) error {
+	counts, err := e.c.AllgatherInt64(e.deg.Total())
+	if err != nil {
+		return err
+	}
+	p := e.c.Size()
+	e.cumEdges = make([]int64, p+1)
+	q := make([]float64, p)
+	var total int64
+	for i, cnt := range counts {
+		if cnt < 0 {
+			return fmt.Errorf("core: negative edge count from rank %d", i)
+		}
+		e.cumEdges[i] = total
+		total += cnt
+		q[i] = float64(cnt) / float64(e.m)
+	}
+	e.cumEdges[p] = total
+	if total != e.m {
+		return fmt.Errorf("core: edge count drifted: %d != %d", total, e.m)
+	}
+	// Guard against floating-point drift in Σq.
+	var qs float64
+	for _, v := range q {
+		qs += v
+	}
+	if qs != 1 {
+		q[p-1] += 1 - qs
+		if q[p-1] < 0 {
+			q[p-1] = 0
+		}
+	}
+	dist, err := randvar.ParallelMultinomialGathered(e.c, e.rnd, s, q)
+	if err != nil {
+		return err
+	}
+	e.remaining = dist[e.c.Rank()]
+	e.sentEOS = false
+	e.eosOthers = 0
+	e.myStalled = false
+	e.stalled = make([]bool, p)
+	e.stalledCount = 0
+	return nil
+}
+
+// broadcastCtl sends a control message (EOS/stalled/resumed) to every
+// other rank.
+func (e *rankEngine) broadcastCtl(kind msgKind) error {
+	payload := opMsg{kind: kind}.encode()
+	for dst := 0; dst < e.c.Size(); dst++ {
+		if dst == e.c.Rank() {
+			continue
+		}
+		e.msgsSent++
+		if err := e.c.Send(dst, opTag, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepLoop is the per-step event loop: drain messages, drive the own
+// operation, emit/collect end-of-step signals, block when idle.
+func (e *rankEngine) stepLoop() error {
+	p := e.c.Size()
+	for {
+		// Drain everything already queued: self-addressed messages
+		// first (lock-free), then the mailbox in arrival order.
+		for {
+			if len(e.selfQ) > 0 {
+				q := e.selfQ
+				e.selfQ = nil
+				for _, om := range q {
+					if err := e.handleMsg(om, e.c.Rank()); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			batch := e.c.RecvAll(mpi.AnySource, opTag)
+			if len(batch) == 0 {
+				break
+			}
+			for _, m := range batch {
+				if err := e.handle(m); err != nil {
+					return err
+				}
+			}
+		}
+		// Start the next own operation if possible.
+		if e.myOp == nil && e.remaining > 0 {
+			if e.curRestarts >= restartForfeit {
+				// Structurally stuck operation (e.g. no valid switch
+				// exists anywhere for this partition's edges): abandon
+				// this single op rather than spin forever.
+				e.curRestarts = 0
+				e.forfeited++
+				e.remaining--
+				continue
+			}
+			if e.deg.Total() > 0 {
+				if e.myStalled {
+					e.myStalled = false
+					if err := e.broadcastCtl(mResumed); err != nil {
+						return err
+					}
+				}
+				if err := e.startOp(); err != nil {
+					return err
+				}
+				continue
+			}
+			// Partition empty: announce the stall so peers in the same
+			// state can detect global quiescence.
+			if !e.myStalled {
+				e.myStalled = true
+				if err := e.broadcastCtl(mStalled); err != nil {
+					return err
+				}
+				continue
+			}
+			// If every peer is finished or stalled, no operation exists
+			// anywhere that could deliver us an edge: forfeit the rest.
+			if e.eosOthers+e.stalledCount == p-1 {
+				e.forfeited += e.remaining
+				e.remaining = 0
+				e.myStalled = false
+				if err := e.broadcastCtl(mResumed); err != nil {
+					return err
+				}
+				continue
+			}
+			// Otherwise wait below for edges or signals to arrive.
+		}
+		// Announce quota completion exactly once.
+		if e.remaining == 0 && e.myOp == nil && !e.sentEOS {
+			if err := e.broadcastCtl(mEndOfStep); err != nil {
+				return err
+			}
+			e.sentEOS = true
+			continue
+		}
+		// Exit when everyone is done.
+		if e.sentEOS && e.eosOthers == p-1 {
+			return nil
+		}
+		// Nothing to do right now: block for the next message (the
+		// self queue is necessarily empty here — every branch that
+		// fills it loops back through the drain).
+		if len(e.selfQ) > 0 {
+			continue
+		}
+		if debugTrace {
+			e.trace("blocking: myOp=%v remaining=%d deg=%d eos=%d stalled=%d myStalled=%v sentEOS=%v partnerOps=%d",
+				e.myOp, e.remaining, e.deg.Total(), e.eosOthers, e.stalledCount, e.myStalled, e.sentEOS, len(e.partnerOps))
+		}
+		m, err := e.c.Recv(mpi.AnySource, opTag)
+		if err != nil {
+			return err
+		}
+		if err := e.handle(m); err != nil {
+			return err
+		}
+	}
+}
+
+// checkStepInvariants asserts the protocol left no dangling state.
+func (e *rankEngine) checkStepInvariants() error {
+	if len(e.inHand) != 0 {
+		return fmt.Errorf("core: rank %d ends step with %d in-hand edges", e.c.Rank(), len(e.inHand))
+	}
+	if len(e.potential) != 0 {
+		return fmt.Errorf("core: rank %d ends step with %d reservations", e.c.Rank(), len(e.potential))
+	}
+	if len(e.partnerOps) != 0 {
+		return fmt.Errorf("core: rank %d ends step with %d partner ops", e.c.Rank(), len(e.partnerOps))
+	}
+	if e.myOp != nil || e.remaining != 0 {
+		return fmt.Errorf("core: rank %d ends step mid-operation", e.c.Rank())
+	}
+	return nil
+}
+
+// ---- local structure helpers ----
+
+// owner returns the rank owning a normalized edge.
+func (e *rankEngine) owner(ed graph.Edge) int { return e.pt.Owner(ed.U) }
+
+// hasLocal reports whether a normalized local edge exists (adjacency,
+// reservation, or provisionally removed).
+func (e *rankEngine) conflicts(ed graph.Edge) bool {
+	if _, held := e.inHand[ed]; held {
+		return true
+	}
+	if _, reserved := e.potential[ed]; reserved {
+		return true
+	}
+	li, ok := e.index[ed.U]
+	if !ok {
+		return true // foreign edge: misrouted, treat as conflict
+	}
+	return e.adj[li].Contains(ed.V)
+}
+
+// takeRandomEdge removes a uniform random local edge into inHand.
+func (e *rankEngine) takeRandomEdge() graph.Edge {
+	slot, offset := e.deg.FindByPrefix(e.rnd.Int64n(e.deg.Total()))
+	v, orig := e.adj[slot].Kth(int(offset))
+	e.adj[slot].Delete(v)
+	e.deg.Add(slot, -1)
+	ed := graph.Edge{U: e.verts[slot], V: v}
+	e.inHand[ed] = orig
+	return ed
+}
+
+// reinsert returns an in-hand edge to the local structures (abort path).
+func (e *rankEngine) reinsert(ed graph.Edge) error {
+	orig, held := e.inHand[ed]
+	if !held {
+		return fmt.Errorf("core: rank %d reinserting edge %v it does not hold", e.c.Rank(), ed)
+	}
+	delete(e.inHand, ed)
+	li := e.index[ed.U]
+	if !e.adj[li].Insert(ed.V, orig, e.rnd.Uint32()) {
+		return fmt.Errorf("core: rank %d reinsert found duplicate %v", e.c.Rank(), ed)
+	}
+	e.deg.Add(int(li), 1)
+	return nil
+}
+
+// discard finalizes the removal of an in-hand edge (commit path).
+func (e *rankEngine) discard(ed graph.Edge) error {
+	if _, held := e.inHand[ed]; !held {
+		return fmt.Errorf("core: rank %d discarding edge %v it does not hold", e.c.Rank(), ed)
+	}
+	delete(e.inHand, ed)
+	return nil
+}
+
+// pickPartner draws a rank with probability proportional to its
+// step-start edge count (§4.4: P_j chosen with probability |E_j|/|E|).
+// After many consecutive restarts the step-start distribution is
+// evidently useless (all its mass on now-empty partitions), so the draw
+// falls back to uniform exploration over all ranks.
+func (e *rankEngine) pickPartner() int {
+	if e.curRestarts >= restartExplore {
+		return e.rnd.Intn(e.c.Size())
+	}
+	x := e.rnd.Int64n(e.cumEdges[len(e.cumEdges)-1])
+	// First rank whose cumulative range contains x.
+	idx := sort.Search(len(e.cumEdges)-1, func(i int) bool { return e.cumEdges[i+1] > x })
+	return idx
+}
+
+func (e *rankEngine) send(dst int, m opMsg) error {
+	e.msgsSent++
+	if dst == e.c.Rank() {
+		e.selfQ = append(e.selfQ, m)
+		return nil
+	}
+	return e.c.SendOwned(dst, opTag, m.encode())
+}
+
+// ---- initiator role ----
+
+// startOp begins one own operation: take e1, pick a partner, ask it to
+// orchestrate.
+func (e *rankEngine) startOp() error {
+	e.seq++
+	id := opID{rank: int32(e.c.Rank()), seq: e.seq}
+	e1 := e.takeRandomEdge()
+	e.myOp = &initOp{id: id, e1: e1}
+	partner := e.pickPartner()
+	return e.send(partner, opMsg{kind: mSelectSecond, id: id, e1: e1})
+}
+
+// onOpDone finalizes a committed own operation.
+func (e *rankEngine) onOpDone(id opID) error {
+	if e.myOp == nil || e.myOp.id != id {
+		return fmt.Errorf("core: rank %d got %v for unknown own op", e.c.Rank(), id)
+	}
+	if err := e.discard(e.myOp.e1); err != nil {
+		return err
+	}
+	e.myOp = nil
+	e.remaining--
+	e.opsInitiated++
+	e.curRestarts = 0
+	return nil
+}
+
+// onAbort restarts an own operation after rejection.
+func (e *rankEngine) onAbort(id opID) error {
+	if e.myOp == nil || e.myOp.id != id {
+		return fmt.Errorf("core: rank %d got abort %v for unknown own op", e.c.Rank(), id)
+	}
+	if err := e.reinsert(e.myOp.e1); err != nil {
+		return err
+	}
+	e.myOp = nil
+	e.restarts++
+	e.curRestarts++
+	return nil
+}
+
+// ---- partner role ----
+
+// onSelectSecond orchestrates an operation for initiator id.rank: select
+// e2, validate, and reserve the replacement edges at their owners.
+func (e *rankEngine) onSelectSecond(id opID, e1 graph.Edge, initiator int) error {
+	if e.deg.Total() == 0 {
+		return e.send(initiator, opMsg{kind: mAbortOp, id: id})
+	}
+	e2 := e.takeRandomEdge()
+	if switchInvalid(e1, e2) {
+		if err := e.reinsert(e2); err != nil {
+			return err
+		}
+		return e.send(initiator, opMsg{kind: mAbortOp, id: id})
+	}
+	kind := Cross
+	if e.rnd.Bool() {
+		kind = Straight
+	}
+	a, b := replacement(e1, e2, kind)
+	op := &partnerOp{
+		id:        id,
+		initiator: initiator,
+		e2:        e2,
+		edges:     [2]graph.Edge{a, b},
+		owners:    [2]int{e.owner(a), e.owner(b)},
+		phase:     phaseReserving,
+	}
+	e.partnerOps[id] = op
+	for i := 0; i < 2; i++ {
+		if err := e.send(op.owners[i], opMsg{kind: mReserve, id: id, e1: op.edges[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onReserveReply advances a partner op when an owner answers.
+func (e *rankEngine) onReserveReply(id opID, ed graph.Edge, ok bool) error {
+	op, exists := e.partnerOps[id]
+	if !exists || op.phase != phaseReserving {
+		return fmt.Errorf("core: rank %d got reserve reply for unknown %v", e.c.Rank(), id)
+	}
+	idx, err := op.edgeIndex(ed)
+	if err != nil {
+		return err
+	}
+	if op.resolved[idx] {
+		return fmt.Errorf("core: rank %d got duplicate reserve reply for %v/%v", e.c.Rank(), id, ed)
+	}
+	op.resolved[idx] = true
+	op.okay[idx] = ok
+	if !op.resolved[0] || !op.resolved[1] {
+		return nil
+	}
+	if op.okay[0] && op.okay[1] {
+		op.phase = phaseCommitting
+		op.acksLeft = 2
+		for i := 0; i < 2; i++ {
+			if err := e.send(op.owners[i], opMsg{kind: mCommit, id: id, e1: op.edges[i]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// At least one conflict: release successful reservations, then abort.
+	op.phase = phaseReleasing
+	op.acksLeft = 0
+	for i := 0; i < 2; i++ {
+		if op.okay[i] {
+			op.acksLeft++
+			if err := e.send(op.owners[i], opMsg{kind: mRelease, id: id, e1: op.edges[i]}); err != nil {
+				return err
+			}
+		}
+	}
+	if op.acksLeft == 0 {
+		return e.finishAbort(op)
+	}
+	return nil
+}
+
+// onAck counts commit/release acknowledgements and finishes the op when
+// all owners have applied their updates.
+func (e *rankEngine) onAck(id opID, commit bool) error {
+	op, exists := e.partnerOps[id]
+	if !exists {
+		return fmt.Errorf("core: rank %d got ack for unknown %v", e.c.Rank(), id)
+	}
+	if (commit && op.phase != phaseCommitting) || (!commit && op.phase != phaseReleasing) {
+		return fmt.Errorf("core: rank %d got %v ack in phase %d", e.c.Rank(), id, op.phase)
+	}
+	op.acksLeft--
+	if op.acksLeft > 0 {
+		return nil
+	}
+	if commit {
+		if err := e.discard(op.e2); err != nil {
+			return err
+		}
+		delete(e.partnerOps, id)
+		return e.send(op.initiator, opMsg{kind: mOpDone, id: id})
+	}
+	return e.finishAbort(op)
+}
+
+func (e *rankEngine) finishAbort(op *partnerOp) error {
+	if err := e.reinsert(op.e2); err != nil {
+		return err
+	}
+	delete(e.partnerOps, op.id)
+	return e.send(op.initiator, opMsg{kind: mAbortOp, id: op.id})
+}
+
+func (op *partnerOp) edgeIndex(ed graph.Edge) (int, error) {
+	switch ed {
+	case op.edges[0]:
+		return 0, nil
+	case op.edges[1]:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("core: edge %v not part of %v", ed, op.id)
+	}
+}
+
+// ---- owner role ----
+
+// onReserve answers a reservation request with a conflict check; a
+// successful check records the potential edge (§4.5 issue 1).
+func (e *rankEngine) onReserve(id opID, ed graph.Edge, partner int) error {
+	if e.conflicts(ed) {
+		return e.send(partner, opMsg{kind: mReserveFail, id: id, e1: ed})
+	}
+	e.potential[ed] = id
+	return e.send(partner, opMsg{kind: mReserveOK, id: id, e1: ed})
+}
+
+// onCommit materializes a reserved edge as a modified edge.
+func (e *rankEngine) onCommit(id opID, ed graph.Edge, partner int) error {
+	holder, reserved := e.potential[ed]
+	if !reserved || holder != id {
+		return fmt.Errorf("core: rank %d commit of unreserved edge %v by %v", e.c.Rank(), ed, id)
+	}
+	delete(e.potential, ed)
+	li, ok := e.index[ed.U]
+	if !ok {
+		return fmt.Errorf("core: rank %d commit of foreign edge %v", e.c.Rank(), ed)
+	}
+	if !e.adj[li].Insert(ed.V, false, e.rnd.Uint32()) {
+		return fmt.Errorf("core: rank %d commit found duplicate edge %v", e.c.Rank(), ed)
+	}
+	e.deg.Add(int(li), 1)
+	return e.send(partner, opMsg{kind: mCommitAck, id: id, e1: ed})
+}
+
+// onRelease drops a reservation.
+func (e *rankEngine) onRelease(id opID, ed graph.Edge, partner int) error {
+	holder, reserved := e.potential[ed]
+	if !reserved || holder != id {
+		return fmt.Errorf("core: rank %d release of unreserved edge %v by %v", e.c.Rank(), ed, id)
+	}
+	delete(e.potential, ed)
+	return e.send(partner, opMsg{kind: mReleaseAck, id: id, e1: ed})
+}
+
+// handle decodes and dispatches one mailbox message.
+func (e *rankEngine) handle(m mpi.Message) error {
+	om, err := decodeOpMsg(m.Data)
+	if err != nil {
+		return err
+	}
+	return e.handleMsg(om, m.Src)
+}
+
+// handleMsg dispatches one protocol message from src.
+func (e *rankEngine) handleMsg(om opMsg, src int) error {
+	if debugTrace {
+		e.trace("recv %v %v e=%v from %d", om.kind, om.id, om.e1, src)
+	}
+	switch om.kind {
+	case mSelectSecond:
+		return e.onSelectSecond(om.id, om.e1, src)
+	case mAbortOp:
+		return e.onAbort(om.id)
+	case mReserve:
+		return e.onReserve(om.id, om.e1, src)
+	case mReserveOK:
+		return e.onReserveReply(om.id, om.e1, true)
+	case mReserveFail:
+		return e.onReserveReply(om.id, om.e1, false)
+	case mCommit:
+		return e.onCommit(om.id, om.e1, src)
+	case mCommitAck:
+		return e.onAck(om.id, true)
+	case mRelease:
+		return e.onRelease(om.id, om.e1, src)
+	case mReleaseAck:
+		return e.onAck(om.id, false)
+	case mOpDone:
+		return e.onOpDone(om.id)
+	case mEndOfStep:
+		e.eosOthers++
+		// A finished rank is no longer "stalled with quota".
+		if e.stalled[src] {
+			e.stalled[src] = false
+			e.stalledCount--
+		}
+		return nil
+	case mStalled:
+		if !e.stalled[src] {
+			e.stalled[src] = true
+			e.stalledCount++
+		}
+		return nil
+	case mResumed:
+		if e.stalled[src] {
+			e.stalled[src] = false
+			e.stalledCount--
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: rank %d cannot handle %v", e.c.Rank(), om.kind)
+	}
+}
+
+// debugTrace, when enabled via the ESDEBUG environment variable, prints
+// every message a rank handles plus its loop state. Temporary diagnostic.
+var debugTrace = os.Getenv("ESDEBUG") != ""
+
+func (e *rankEngine) trace(format string, args ...any) {
+	if debugTrace {
+		fmt.Fprintf(os.Stderr, "[rank %d] %s\n", e.c.Rank(), fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/mpi"
+	"edgeswitch/internal/partition"
+	"edgeswitch/internal/rng"
+)
+
+// newTestEngine builds a single-rank engine around a small graph.
+func newTestEngine(t *testing.T, g *graph.Graph) (*rankEngine, *mpi.World) {
+	t.Helper()
+	w, err := mpi.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := partition.NewCP(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []flaggedEdge
+	for ui := 0; ui < g.N(); ui++ {
+		u := graph.Vertex(ui)
+		g.WalkReduced(u, func(v graph.Vertex, orig bool) bool {
+			edges = append(edges, flaggedEdge{graph.Edge{U: u, V: v}, orig})
+			return true
+		})
+	}
+	var eng *rankEngine
+	err = w.Run(func(c *mpi.Comm) error {
+		var err error
+		eng, err = newRankEngine(c, pt, g.N(), g.M(), edges, 5)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, w
+}
+
+func TestEngineLoadsPartition(t *testing.T) {
+	r := rng.New(1)
+	g, err := gen.ErdosRenyi(r, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, w := newTestEngine(t, g)
+	defer w.Close()
+	if eng.deg.Total() != g.M() {
+		t.Fatalf("loaded %d edges, want %d", eng.deg.Total(), g.M())
+	}
+	if eng.initialEdges != g.M() {
+		t.Fatalf("initialEdges %d", eng.initialEdges)
+	}
+	if len(eng.verts) != g.N() {
+		t.Fatalf("verts %d", len(eng.verts))
+	}
+	// Every original edge must be present and conflict-detected.
+	for _, e := range g.Edges() {
+		if !eng.conflicts(e) {
+			t.Fatalf("loaded edge %v not seen by conflict check", e)
+		}
+	}
+}
+
+func TestEngineTakeReinsertDiscard(t *testing.T) {
+	r := rng.New(2)
+	g, err := gen.ErdosRenyi(r, 30, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, w := newTestEngine(t, g)
+	defer w.Close()
+
+	e := eng.takeRandomEdge()
+	if eng.deg.Total() != g.M()-1 {
+		t.Fatalf("degree total after take: %d", eng.deg.Total())
+	}
+	if !eng.conflicts(e) {
+		t.Fatal("in-hand edge escaped the conflict check")
+	}
+	if err := eng.reinsert(e); err != nil {
+		t.Fatal(err)
+	}
+	if eng.deg.Total() != g.M() {
+		t.Fatalf("degree total after reinsert: %d", eng.deg.Total())
+	}
+	if err := eng.reinsert(e); err == nil {
+		t.Fatal("double reinsert accepted")
+	}
+
+	e2 := eng.takeRandomEdge()
+	if err := eng.discard(e2); err != nil {
+		t.Fatal(err)
+	}
+	if eng.deg.Total() != g.M()-1 {
+		t.Fatalf("degree total after discard: %d", eng.deg.Total())
+	}
+	if err := eng.discard(e2); err == nil {
+		t.Fatal("double discard accepted")
+	}
+}
+
+func TestEngineTakePreservesOriginalFlag(t *testing.T) {
+	r := rng.New(3)
+	g := graph.New(4)
+	g.AddEdge(graph.Edge{U: 0, V: 1}, r)     // original
+	g.AddModified(graph.Edge{U: 2, V: 3}, r) // modified
+	eng, w := newTestEngine(t, g)
+	defer w.Close()
+	// Take both, reinsert both; flags must survive the round trip.
+	a := eng.takeRandomEdge()
+	b := eng.takeRandomEdge()
+	if err := eng.reinsert(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.reinsert(b); err != nil {
+		t.Fatal(err)
+	}
+	li01 := eng.index[0]
+	li23 := eng.index[2]
+	if !eng.adj[li01].Original(1) {
+		t.Fatal("original flag lost on (0,1)")
+	}
+	if eng.adj[li23].Original(3) {
+		t.Fatal("modified edge became original on (2,3)")
+	}
+}
+
+func TestEngineConflictsChecksPotential(t *testing.T) {
+	r := rng.New(4)
+	g, err := gen.ErdosRenyi(r, 20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, w := newTestEngine(t, g)
+	defer w.Close()
+	// A fresh non-edge.
+	var candidate graph.Edge
+	for u := graph.Vertex(0); u < 19; u++ {
+		e := graph.Edge{U: u, V: u + 1}
+		if !g.HasEdge(e) {
+			candidate = e
+			break
+		}
+	}
+	if candidate == (graph.Edge{}) {
+		t.Skip("graph too dense for a candidate")
+	}
+	if eng.conflicts(candidate) {
+		t.Fatal("fresh edge conflicts")
+	}
+	eng.potential[candidate] = opID{rank: 0, seq: 1}
+	if !eng.conflicts(candidate) {
+		t.Fatal("reserved edge not seen by conflict check")
+	}
+}
+
+func TestEnginePickPartnerRespectsWeights(t *testing.T) {
+	r := rng.New(5)
+	g, err := gen.ErdosRenyi(r, 20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, w := newTestEngine(t, g)
+	defer w.Close()
+	// Fake a 3-rank cumulative edge distribution 10/0/30.
+	eng.cumEdges = []int64{0, 10, 10, 40}
+	counts := [3]int{}
+	for i := 0; i < 40000; i++ {
+		counts[eng.pickPartner()]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("empty rank selected %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Fatalf("partner weights off: %v (ratio %f, want ~3)", counts, ratio)
+	}
+}
+
+func TestEngineOwnerRoutesByMinEndpoint(t *testing.T) {
+	r := rng.New(6)
+	g, err := gen.ErdosRenyi(r, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := partition.NewHPD(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(c *mpi.Comm) error {
+		eng, err := newRankEngine(c, pt, g.N(), g.M(), nil, 7)
+		if err != nil {
+			return err
+		}
+		for _, e := range []graph.Edge{{U: 0, V: 5}, {U: 3, V: 9}, {U: 7, V: 8}} {
+			if got, want := eng.owner(e), int(e.U)%4; got != want {
+				t.Errorf("owner(%v) = %d, want %d", e, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"edgeswitch/internal/graph"
+)
+
+// The conversation protocol of §4.4–§4.5, generalised (see DESIGN.md §4):
+// an operation is a short exchange between the initiator (owner of the
+// first edge), the partner (owner of the second edge; may equal the
+// initiator for a local switch), and the owners of the two replacement
+// edges. All owner-directed mutations are acknowledged so that when an
+// initiator's operation completes, every remote update it caused has been
+// applied — the property that makes the end-of-step barrier sound.
+
+// opTag is the single application tag used by engine traffic; message
+// kinds are distinguished in the payload.
+const opTag = 1
+
+// msgKind enumerates protocol messages.
+type msgKind uint8
+
+const (
+	// mSelectSecond: initiator → partner. Carries e1; asks the partner
+	// to select a second edge and orchestrate the switch.
+	mSelectSecond msgKind = iota + 1
+	// mAbortOp: partner → initiator. The operation was rejected
+	// (useless/loop/parallel-edge/empty partition); restart with a new pair.
+	mAbortOp
+	// mReserve: partner → owner. Reserve a replacement edge in the
+	// owner's potential-edge set after a conflict check.
+	mReserve
+	// mReserveOK / mReserveFail: owner → partner replies.
+	mReserveOK
+	mReserveFail
+	// mCommit: partner → owner. Materialize a reserved edge.
+	mCommit
+	// mCommitAck: owner → partner.
+	mCommitAck
+	// mRelease: partner → owner. Drop a reservation after a failed switch.
+	mRelease
+	// mReleaseAck: owner → partner.
+	mReleaseAck
+	// mOpDone: partner → initiator. Switch committed everywhere.
+	mOpDone
+	// mEndOfStep: rank → all. The sender has completed its quota for the
+	// current step (it keeps serving until everyone has).
+	mEndOfStep
+	// mStalled / mResumed: rank → all. The sender has remaining quota but
+	// an empty partition (it cannot select a first edge until a commit
+	// delivers one), or has recovered from that state. Used for
+	// distributed stall detection: when every peer is either finished or
+	// stalled, no operation can ever replenish an empty partition, so
+	// stalled ranks forfeit their remaining quota instead of deadlocking.
+	// Only reachable on degenerate inputs (partitions of a handful of
+	// edges); realistic partitions never empty.
+	mStalled
+	mResumed
+)
+
+func (k msgKind) String() string {
+	switch k {
+	case mSelectSecond:
+		return "selectSecond"
+	case mAbortOp:
+		return "abortOp"
+	case mReserve:
+		return "reserve"
+	case mReserveOK:
+		return "reserveOK"
+	case mReserveFail:
+		return "reserveFail"
+	case mCommit:
+		return "commit"
+	case mCommitAck:
+		return "commitAck"
+	case mRelease:
+		return "release"
+	case mReleaseAck:
+		return "releaseAck"
+	case mOpDone:
+		return "opDone"
+	case mEndOfStep:
+		return "endOfStep"
+	case mStalled:
+		return "stalled"
+	case mResumed:
+		return "resumed"
+	default:
+		return fmt.Sprintf("msgKind(%d)", uint8(k))
+	}
+}
+
+// opID identifies an operation: the initiating rank plus a per-initiator
+// sequence number.
+type opID struct {
+	rank int32
+	seq  uint64
+}
+
+func (id opID) String() string { return fmt.Sprintf("op[%d:%d]", id.rank, id.seq) }
+
+// opMsg is the decoded form of every protocol message. Unused fields are
+// zero.
+type opMsg struct {
+	kind msgKind
+	id   opID
+	e1   graph.Edge // mSelectSecond: first edge; owner messages: target edge
+}
+
+const opMsgLen = 1 + 4 + 8 + 16
+
+// encode serializes the message into a fresh buffer.
+func (m opMsg) encode() []byte {
+	buf := make([]byte, opMsgLen)
+	buf[0] = byte(m.kind)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(m.id.rank))
+	binary.LittleEndian.PutUint64(buf[5:], m.id.seq)
+	binary.LittleEndian.PutUint32(buf[13:], uint32(m.e1.U))
+	binary.LittleEndian.PutUint32(buf[17:], uint32(m.e1.V))
+	// Bytes 21..28 are reserved (kept for layout stability).
+	return buf
+}
+
+// decodeOpMsg parses an engine payload.
+func decodeOpMsg(data []byte) (opMsg, error) {
+	if len(data) != opMsgLen {
+		return opMsg{}, fmt.Errorf("core: bad op message length %d", len(data))
+	}
+	m := opMsg{
+		kind: msgKind(data[0]),
+		id: opID{
+			rank: int32(binary.LittleEndian.Uint32(data[1:])),
+			seq:  binary.LittleEndian.Uint64(data[5:]),
+		},
+		e1: graph.Edge{
+			U: graph.Vertex(binary.LittleEndian.Uint32(data[13:])),
+			V: graph.Vertex(binary.LittleEndian.Uint32(data[17:])),
+		},
+	}
+	if m.kind < mSelectSecond || m.kind > mResumed {
+		return opMsg{}, fmt.Errorf("core: unknown message kind %d", data[0])
+	}
+	return m, nil
+}

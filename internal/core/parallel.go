@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/mpi"
+	"edgeswitch/internal/partition"
+	"edgeswitch/internal/rng"
+)
+
+// Scheme selects the partitioning strategy (§4.3, §5.1).
+type Scheme string
+
+// The four partitioning schemes evaluated in the paper.
+const (
+	SchemeCP  Scheme = "CP"   // consecutive, edge-balanced
+	SchemeHPD Scheme = "HP-D" // division hash v mod p
+	SchemeHPM Scheme = "HP-M" // multiplication hash
+	SchemeHPU Scheme = "HP-U" // universal hash
+)
+
+// Schemes lists all partitioning schemes in presentation order.
+func Schemes() []Scheme { return []Scheme{SchemeCP, SchemeHPD, SchemeHPM, SchemeHPU} }
+
+// Config parameterises a parallel edge-switch run.
+type Config struct {
+	// Ranks is the number of processors p (goroutine ranks). Must be >= 1.
+	Ranks int
+	// Scheme selects the partitioning scheme. Default SchemeCP.
+	Scheme Scheme
+	// StepSize is the number of operations per step (§4.5); operations
+	// are re-distributed by multinomial sampling and the probability
+	// vector is refreshed between steps. 0 means a single step (the HP
+	// schemes' recommended mode, Table 3).
+	StepSize int64
+	// Seed drives every random choice of the run.
+	Seed uint64
+	// UseTCP routes all engine traffic over loopback TCP sockets instead
+	// of in-process mailboxes.
+	UseTCP bool
+	// SkipResult suppresses gathering and reassembling the final graph,
+	// for benchmark runs that only need timing and counters.
+	SkipResult bool
+}
+
+// Result reports a parallel run.
+type Result struct {
+	// Graph is the switched graph, reassembled on rank 0 (nil with
+	// Config.SkipResult).
+	Graph *graph.Graph
+	// Ops is the number of completed switch operations (== t − Forfeited).
+	Ops int64
+	// Restarts counts rejected selections across all ranks.
+	Restarts int64
+	// Forfeited counts operations abandoned because a rank's partition
+	// ran out of edges with no active peers left to replenish it (only
+	// reachable on degenerate tiny inputs; see DESIGN.md).
+	Forfeited int64
+	// Steps is the number of steps executed.
+	Steps int
+	// VisitRate is the observed visit rate (0 with SkipResult).
+	VisitRate float64
+	// RankOps[i] is the number of operations initiated by rank i (the
+	// workload of Figs. 19–21).
+	RankOps []int64
+	// RankRestarts[i] is per-rank restart counts.
+	RankRestarts []int64
+	// RankVertices[i] and RankInitialEdges[i] describe the partition
+	// (Figs. 16–17); RankFinalEdges[i] the edge distribution after the
+	// run (Fig. 18).
+	RankVertices     []int64
+	RankInitialEdges []int64
+	RankFinalEdges   []int64
+	// RankMessages[i] counts protocol messages sent by rank i (every
+	// operation costs a constant number; end-of-step signals add O(p)
+	// per step).
+	RankMessages []int64
+	// Elapsed is the wall-clock time of the switching phase (excludes
+	// graph partitioning and reassembly).
+	Elapsed time.Duration
+	// SchemeName echoes the partitioning scheme used.
+	SchemeName string
+}
+
+// NewPartitioner builds the partitioner for a scheme. HP-U coefficients
+// are derived deterministically from seed.
+func NewPartitioner(g *graph.Graph, scheme Scheme, p int, seed uint64) (partition.Partitioner, error) {
+	switch scheme {
+	case SchemeCP, "":
+		return partition.NewCP(g, p)
+	case SchemeHPD:
+		return partition.NewHPD(p)
+	case SchemeHPM:
+		return partition.NewHPM(p)
+	case SchemeHPU:
+		return partition.NewHPU(p, rng.Split(seed, 1<<20))
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", scheme)
+	}
+}
+
+// Parallel performs t edge switch operations on a copy of g distributed
+// over cfg.Ranks goroutine ranks, following §4–§5: the graph is
+// partitioned by the configured scheme; each step's operations are
+// spread over ranks with the parallel multinomial generator keyed to the
+// current per-partition edge counts; each operation runs the
+// reserve/commit conversation protocol. The input graph g is not
+// modified.
+//
+// For true multi-process distribution, run one RunRank per process over
+// an mpi.ProcWorld instead (see cmd/esworker).
+func Parallel(g *graph.Graph, t int64, cfg Config) (*Result, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("core: Ranks must be >= 1, got %d", cfg.Ranks)
+	}
+	var opts []mpi.Option
+	if cfg.UseTCP {
+		opts = append(opts, mpi.WithTCP())
+	}
+	world, err := mpi.NewWorld(cfg.Ranks, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+
+	var res *Result
+	runErr := world.Run(func(c *mpi.Comm) error {
+		r, err := RunRank(c, g, t, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// RunRank executes the parallel edge-switch algorithm as one rank of an
+// existing communicator: every rank of c must call RunRank with an
+// identical graph, operation count, and configuration (cfg.Ranks and
+// cfg.UseTCP are ignored; the communicator decides both). Rank 0 returns
+// the assembled Result; other ranks return nil. This is the entry point
+// for multi-process distributed runs, where each process loads the graph
+// and keeps only its own partition.
+func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("core: negative operation count %d", t)
+	}
+	if g.M() < 2 && t > 0 {
+		return nil, fmt.Errorf("core: need at least 2 edges to switch, have %d", g.M())
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = SchemeCP
+	}
+	p := c.Size()
+	pt, err := NewPartitioner(g, cfg.Scheme, p, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Load this rank's partition.
+	var local []flaggedEdge
+	for ui := 0; ui < g.N(); ui++ {
+		u := graph.Vertex(ui)
+		if pt.Owner(u) != c.Rank() {
+			continue
+		}
+		g.WalkReduced(u, func(v graph.Vertex, orig bool) bool {
+			local = append(local, flaggedEdge{graph.Edge{U: u, V: v}, orig})
+			return true
+		})
+	}
+
+	stepSize := cfg.StepSize
+	if stepSize <= 0 || stepSize > t {
+		stepSize = t
+	}
+
+	eng, err := newRankEngine(c, pt, g.N(), g.M(), local, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := eng.run(t, stepSize); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	// Gather statistics at rank 0.
+	stats := []int64{eng.opsInitiated, eng.restarts, eng.forfeited,
+		int64(len(eng.verts)), eng.initialEdges, eng.deg.Total(), eng.msgsSent}
+	gathered, err := c.Gather(0, mpi.Int64sToBytes(stats))
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	if c.Rank() == 0 {
+		res = &Result{
+			SchemeName:       pt.Name(),
+			Elapsed:          elapsed,
+			RankOps:          make([]int64, p),
+			RankRestarts:     make([]int64, p),
+			RankVertices:     make([]int64, p),
+			RankInitialEdges: make([]int64, p),
+			RankFinalEdges:   make([]int64, p),
+			RankMessages:     make([]int64, p),
+		}
+		for rank, payload := range gathered {
+			vs, err := mpi.BytesToInt64s(payload)
+			if err != nil {
+				return nil, err
+			}
+			res.RankOps[rank] = vs[0]
+			res.RankRestarts[rank] = vs[1]
+			res.Forfeited += vs[2]
+			res.RankVertices[rank] = vs[3]
+			res.RankInitialEdges[rank] = vs[4]
+			res.RankFinalEdges[rank] = vs[5]
+			res.RankMessages[rank] = vs[6]
+			res.Ops += vs[0]
+			res.Restarts += vs[1]
+		}
+		if t > 0 {
+			res.Steps = int((t + stepSize - 1) / stepSize)
+		}
+	}
+	if cfg.SkipResult {
+		return res, nil
+	}
+
+	// Ship local edges (with original flags) to rank 0 and reassemble.
+	payload := make([]byte, 0, 9*len(eng.verts))
+	for li := range eng.adj {
+		u := eng.verts[li]
+		eng.adj[li].Walk(func(v graph.Vertex, orig bool) bool {
+			var rec [9]byte
+			putEdge(rec[:], graph.Edge{U: u, V: v}, orig)
+			payload = append(payload, rec[:]...)
+			return true
+		})
+	}
+	parts, err := c.Gather(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	out := graph.New(g.N())
+	rnd := rng.Split(cfg.Seed, 1<<21)
+	for _, pb := range parts {
+		fes, err := parseEdges(pb)
+		if err != nil {
+			return nil, err
+		}
+		for _, fe := range fes {
+			if !addFlagged(out, fe.e, fe.orig, rnd) {
+				return nil, fmt.Errorf("core: reassembly found duplicate edge %v", fe.e)
+			}
+		}
+	}
+	if out.M() != g.M() {
+		return nil, fmt.Errorf("core: edge count changed: %d -> %d", g.M(), out.M())
+	}
+	res.Graph = out
+	res.VisitRate = VisitRate(out.Originals(), g.M())
+	return res, nil
+}
+
+// flaggedEdge pairs an edge with its original-vs-modified flag while
+// edges move between the driver and the ranks.
+type flaggedEdge struct {
+	e    graph.Edge
+	orig bool
+}
+
+// parseEdges decodes the 9-byte (u, v, flag) records of a gathered
+// partition payload.
+func parseEdges(payload []byte) ([]flaggedEdge, error) {
+	if len(payload)%9 != 0 {
+		return nil, fmt.Errorf("core: edge payload length %d not a multiple of 9", len(payload))
+	}
+	out := make([]flaggedEdge, 0, len(payload)/9)
+	for off := 0; off < len(payload); off += 9 {
+		out = append(out, flaggedEdge{
+			e:    graph.Edge{U: graph.Vertex(getU32(payload[off:])), V: graph.Vertex(getU32(payload[off+4:]))},
+			orig: payload[off+8] == 1,
+		})
+	}
+	return out, nil
+}
+
+func putEdge(buf []byte, e graph.Edge, orig bool) {
+	putU32(buf[0:], uint32(e.U))
+	putU32(buf[4:], uint32(e.V))
+	if orig {
+		buf[8] = 1
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func addFlagged(g *graph.Graph, e graph.Edge, orig bool, r *rng.RNG) bool {
+	if orig {
+		return g.AddEdge(e, r)
+	}
+	return g.AddModified(e, r)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// TestParallelInvariantsProperty drives the parallel engine with
+// quick-generated configurations (graph size, rank count, scheme, step
+// size, operation count) and asserts the schedule-independent invariants:
+// simplicity, degree preservation, edge-count conservation, and operation
+// accounting.
+func TestParallelInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many parallel runs")
+	}
+	schemes := Schemes()
+	f := func(seed uint64, nRaw, mRaw, pRaw, sRaw, tRaw uint16) bool {
+		r := rng.New(seed)
+		n := 30 + int(nRaw%400)
+		maxM := int64(n) * int64(n-1) / 2
+		m := int64(n) + int64(mRaw%2000)
+		if m > maxM {
+			m = maxM
+		}
+		g, err := gen.ErdosRenyi(r, n, m)
+		if err != nil {
+			t.Logf("gen: %v", err)
+			return false
+		}
+		p := 1 + int(pRaw%6)
+		tOps := 1 + int64(tRaw%500)
+		stepSize := int64(sRaw % 200) // 0 => single step
+		cfg := Config{
+			Ranks:    p,
+			Scheme:   schemes[seed%uint64(len(schemes))],
+			StepSize: stepSize,
+			Seed:     seed,
+		}
+		res, err := Parallel(g, tOps, cfg)
+		if err != nil {
+			t.Logf("parallel: %v", err)
+			return false
+		}
+		if res.Ops+res.Forfeited != tOps {
+			t.Logf("accounting: ops %d + forfeits %d != %d", res.Ops, res.Forfeited, tOps)
+			return false
+		}
+		if res.Graph.M() != g.M() {
+			t.Logf("edge count changed")
+			return false
+		}
+		if err := res.Graph.CheckSimple(); err != nil {
+			t.Logf("not simple: %v", err)
+			return false
+		}
+		if !sameDegrees(degreeMultiset(g), degreeMultiset(res.Graph)) {
+			t.Logf("degrees changed")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialMatchesParallelP1Distribution: with p=1 the parallel
+// engine realizes the same stochastic process as the sequential
+// algorithm (all switches local, executed one after another). Compare the
+// distribution of a scalar summary — the number of original edges
+// remaining — across many runs.
+func TestSequentialMatchesParallelP1Distribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many runs")
+	}
+	r := rng.New(55)
+	g, err := gen.ErdosRenyi(r, 200, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tOps = 300
+	const runs = 60
+	var seqSum, parSum float64
+	for i := 0; i < runs; i++ {
+		rr := rng.New(uint64(7000 + i))
+		work := g.Clone(rr)
+		if _, err := Sequential(work, tOps, rr); err != nil {
+			t.Fatal(err)
+		}
+		seqSum += float64(work.Originals())
+
+		res, err := Parallel(g, tOps, Config{Ranks: 1, Seed: uint64(9000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parSum += float64(res.Graph.Originals())
+	}
+	seqMean := seqSum / runs
+	parMean := parSum / runs
+	// Same process => same expected originals. Allow generous sampling
+	// noise (std of originals is ~sqrt(m·x·(1-x)) ≈ 13, /sqrt(60) ≈ 1.7).
+	if diff := seqMean - parMean; diff > 12 || diff < -12 {
+		t.Fatalf("originals diverge: seq %.1f vs par(p=1) %.1f", seqMean, parMean)
+	}
+}
+
+// TestParallelEdgeSetReachable: the parallel chain must be able to reach
+// edges outside the initial edge set in every partition (no partition is
+// frozen), checked by asserting that every rank's final edge set differs
+// from its initial one after a heavy run.
+func TestParallelChurnsEveryPartition(t *testing.T) {
+	r := rng.New(66)
+	g, err := gen.ErdosRenyi(r, 1000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOps, err := OpsForVisitRate(g.M(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Parallel(g, tOps, Config{Ranks: 4, Scheme: SchemeHPU, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, ops := range res.RankOps {
+		if ops == 0 {
+			t.Fatalf("rank %d initiated no operations: %v", rank, res.RankOps)
+		}
+	}
+	if res.VisitRate < 0.99 {
+		t.Fatalf("visit rate %v", res.VisitRate)
+	}
+}
+
+// TestReplacementPreservesDegreeProperty: for arbitrary valid edge pairs,
+// both switch kinds preserve the endpoint degree multiset.
+func TestReplacementPreservesDegreeProperty(t *testing.T) {
+	f := func(a, b, c, d uint8, straight bool) bool {
+		e1 := graph.Edge{U: graph.Vertex(a), V: graph.Vertex(b)}.Norm()
+		e2 := graph.Edge{U: graph.Vertex(c), V: graph.Vertex(d)}.Norm()
+		if e1.IsLoop() || e2.IsLoop() || switchInvalid(e1, e2) {
+			return true // not a valid switch; nothing to check
+		}
+		kind := Cross
+		if straight {
+			kind = Straight
+		}
+		na, nb := replacement(e1, e2, kind)
+		// Endpoint multiset preserved.
+		count := map[graph.Vertex]int{}
+		for _, e := range []graph.Edge{e1, e2} {
+			count[e.U]++
+			count[e.V]++
+		}
+		for _, e := range []graph.Edge{na, nb} {
+			count[e.U]--
+			count[e.V]--
+		}
+		for _, v := range count {
+			if v != 0 {
+				return false
+			}
+		}
+		// Replacements normalized and loop-free.
+		return na.U < na.V && nb.U < nb.V
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

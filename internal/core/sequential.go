@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// SwitchKind distinguishes the two replacement patterns of §4.2 (Fig. 3).
+// With reduced adjacency lists every unordered pair of edges must choose
+// between them with probability ½ each to keep the Markov chain the same
+// as with full adjacency lists.
+type SwitchKind uint8
+
+// The two switch kinds.
+const (
+	// Cross replaces (u1,v1),(u2,v2) with (u1,v2),(u2,v1).
+	Cross SwitchKind = iota
+	// Straight replaces (u1,v1),(u2,v2) with (u1,u2),(v1,v2).
+	Straight
+)
+
+func (k SwitchKind) String() string {
+	if k == Cross {
+		return "cross"
+	}
+	return "straight"
+}
+
+// replacement returns the two new (normalized) edges a switch of the
+// given kind produces.
+func replacement(e1, e2 graph.Edge, kind SwitchKind) (a, b graph.Edge) {
+	if kind == Cross {
+		return graph.Edge{U: e1.U, V: e2.V}.Norm(), graph.Edge{U: e2.U, V: e1.V}.Norm()
+	}
+	return graph.Edge{U: e1.U, V: e2.U}.Norm(), graph.Edge{U: e1.V, V: e2.V}.Norm()
+}
+
+// switchInvalid reports whether switching e1 and e2 (either kind) would
+// be useless or create a self-loop. With all four endpoint-equality
+// cases excluded, both switch kinds are valid loop-free, non-useless
+// operations (§3.2 conditions collapse to this single predicate once
+// e1 and e2 are themselves loop-free).
+func switchInvalid(e1, e2 graph.Edge) bool {
+	return e1.U == e2.U || e1.V == e2.V || e1.U == e2.V || e1.V == e2.U
+}
+
+// SeqStats reports what a sequential run did.
+type SeqStats struct {
+	Ops       int64   // switch operations performed
+	Restarts  int64   // selections rejected (useless, loop, or parallel edge)
+	VisitRate float64 // observed visit rate against the initial edge count
+}
+
+// Sequential performs t edge switch operations on g in place
+// (Algorithm 1): each operation draws two uniform random edges and a
+// switch kind, restarting with a fresh pair whenever the switch would be
+// useless, create a loop, or create a parallel edge. The graph's degree
+// sequence is invariant; g must be simple and stays simple.
+func Sequential(g *graph.Graph, t int64, r *rng.RNG) (SeqStats, error) {
+	if t < 0 {
+		return SeqStats{}, fmt.Errorf("core: negative operation count %d", t)
+	}
+	if g.M() < 2 && t > 0 {
+		return SeqStats{}, fmt.Errorf("core: need at least 2 edges to switch, have %d", g.M())
+	}
+	m0 := g.M()
+	var st SeqStats
+	for st.Ops < t {
+		e1 := g.RandomEdge(r)
+		e2 := g.RandomEdge(r)
+		if switchInvalid(e1, e2) { // also covers e1 == e2
+			st.Restarts++
+			continue
+		}
+		kind := Cross
+		if r.Bool() {
+			kind = Straight
+		}
+		a, b := replacement(e1, e2, kind)
+		if g.HasEdge(a) || g.HasEdge(b) {
+			st.Restarts++
+			continue
+		}
+		g.RemoveEdge(e1)
+		g.RemoveEdge(e2)
+		g.AddModified(a, r)
+		g.AddModified(b, r)
+		st.Ops++
+	}
+	st.VisitRate = VisitRate(g.Originals(), m0)
+	return st, nil
+}
+
+// SequentialVisitRate computes t from the target visit rate and runs
+// Sequential.
+func SequentialVisitRate(g *graph.Graph, x float64, r *rng.RNG) (SeqStats, error) {
+	t, err := OpsForVisitRate(g.M(), x)
+	if err != nil {
+		return SeqStats{}, err
+	}
+	return Sequential(g, t, r)
+}

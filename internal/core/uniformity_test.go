@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// The degree sequence (2,2,2,2) on four labeled vertices has exactly
+// three realizations, the three labeled 4-cycles:
+//
+//	A: 01 12 23 03    B: 02 12 13 03    C: 01 13 02 23
+//
+// The edge-switch Markov chain must converge to the uniform distribution
+// over {A, B, C} — the property that makes switching a valid random-graph
+// sampler. These tests check it for the sequential chain (tight
+// chi-square) and the parallel process (looser tolerance).
+
+func cycleID(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	key := ""
+	for _, e := range g.Edges() {
+		key += fmt.Sprintf("%d%d", e.U, e.V)
+	}
+	switch key {
+	case "01031223": // edges 01 03 12 23
+		return "A"
+	case "02031213":
+		return "B"
+	case "01021323":
+		return "C"
+	default:
+		t.Fatalf("unexpected C4 realization %q", key)
+		return ""
+	}
+}
+
+func startCycle(t *testing.T, r *rng.RNG) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 3}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSequentialUniformOverDegreeClass(t *testing.T) {
+	r := rng.New(123)
+	g := startCycle(t, r)
+	counts := map[string]int{}
+	const samples = 30000
+	const spacing = 6
+	for i := 0; i < samples; i++ {
+		if _, err := Sequential(g, spacing, r); err != nil {
+			t.Fatal(err)
+		}
+		counts[cycleID(t, g)]++
+	}
+	expected := float64(samples) / 3
+	chi2 := 0.0
+	for _, id := range []string{"A", "B", "C"} {
+		d := float64(counts[id]) - expected
+		chi2 += d * d / expected
+	}
+	// Samples along one chain are slightly correlated, so allow more
+	// slack than the iid 2-dof 99.9% value (13.8).
+	if chi2 > 25 {
+		t.Fatalf("chain not uniform over degree class: chi2=%.1f counts=%v", chi2, counts)
+	}
+}
+
+func TestParallelUniformOverDegreeClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many small parallel runs")
+	}
+	counts := map[string]int{}
+	const samples = 400
+	for i := 0; i < samples; i++ {
+		r := rng.New(uint64(1000 + i))
+		g := startCycle(t, r)
+		res, err := Parallel(g, 8, Config{Ranks: 2, Scheme: SchemeHPD, Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[cycleID(t, res.Graph)]++
+	}
+	// Loose check: every realization appears a healthy number of times.
+	for _, id := range []string{"A", "B", "C"} {
+		if counts[id] < samples/6 {
+			t.Fatalf("realization %s underrepresented: %v", id, counts)
+		}
+	}
+}
+
+// TestSequentialStationaryFromEachStart: starting from any of the three
+// realizations, one switch leads to each other realization with equal
+// probability (the chain's transition symmetry).
+func TestSequentialTransitionSymmetry(t *testing.T) {
+	r := rng.New(9)
+	counts := map[string]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		g := startCycle(t, r)
+		if _, err := Sequential(g, 1, r); err != nil {
+			t.Fatal(err)
+		}
+		counts[cycleID(t, g)]++
+	}
+	// One switch from A lands on B or C (never back on A: a completed
+	// switch always changes the edge set).
+	if counts["A"] != 0 {
+		t.Fatalf("a completed switch left the graph unchanged: %v", counts)
+	}
+	ratio := float64(counts["B"]) / float64(counts["C"])
+	if math.Abs(ratio-1) > 0.1 {
+		t.Fatalf("asymmetric transitions: %v", counts)
+	}
+}

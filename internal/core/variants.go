@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// Constrained sequential variants for the other §1 applications:
+// randomly-labeled bipartite graphs with a given degree sequence (the
+// paper's reference [6]) and graphs with a prescribed joint degree
+// distribution via MCMC (reference [7]).
+
+// SequentialBipartite performs t edge switch operations on g preserving a
+// bipartition: vertices 0..leftSize-1 form one side, the rest the other,
+// and every edge must cross sides (validated up front). Only cross
+// switches are applicable — a straight switch would create same-side
+// edges — so each operation replaces (u1,v1),(u2,v2) by (u1,v2),(u2,v1)
+// with u's on the left. This randomizes a bipartite graph within its
+// degree sequence (the paper's application [6]). g is modified in place.
+func SequentialBipartite(g *graph.Graph, leftSize int, t int64, r *rng.RNG) (SeqStats, error) {
+	if t < 0 {
+		return SeqStats{}, fmt.Errorf("core: negative operation count %d", t)
+	}
+	if leftSize <= 0 || leftSize >= g.N() {
+		return SeqStats{}, fmt.Errorf("core: bipartition size %d out of (0,%d)", leftSize, g.N())
+	}
+	left := func(v graph.Vertex) bool { return int(v) < leftSize }
+	for _, e := range g.Edges() {
+		if left(e.U) == left(e.V) {
+			return SeqStats{}, fmt.Errorf("core: edge %v does not cross the bipartition", e)
+		}
+	}
+	if g.M() < 2 && t > 0 {
+		return SeqStats{}, fmt.Errorf("core: need at least 2 edges to switch, have %d", g.M())
+	}
+	m0 := g.M()
+	var st SeqStats
+	for st.Ops < t {
+		e1 := orientBipartite(g.RandomEdge(r), leftSize)
+		e2 := orientBipartite(g.RandomEdge(r), leftSize)
+		// Cross switch on (left,right)-oriented edges keeps both new
+		// edges crossing: (l1,r2) and (l2,r1).
+		if e1.U == e2.U || e1.V == e2.V {
+			st.Restarts++ // useless (shared endpoint on the same side)
+			continue
+		}
+		a := graph.Edge{U: e1.U, V: e2.V}.Norm()
+		b := graph.Edge{U: e2.U, V: e1.V}.Norm()
+		if g.HasEdge(a) || g.HasEdge(b) {
+			st.Restarts++
+			continue
+		}
+		g.RemoveEdge(e1)
+		g.RemoveEdge(e2)
+		g.AddModified(a, r)
+		g.AddModified(b, r)
+		st.Ops++
+	}
+	st.VisitRate = VisitRate(g.Originals(), m0)
+	return st, nil
+}
+
+// orientBipartite returns the edge as (left vertex, right vertex).
+func orientBipartite(e graph.Edge, leftSize int) graph.Edge {
+	if int(e.U) < leftSize {
+		return e
+	}
+	return graph.Edge{U: e.V, V: e.U}
+}
+
+// SequentialJointDegree performs t edge switch operations on g that
+// preserve not only the degree sequence but the joint degree distribution
+// (the multiset of endpoint-degree pairs over edges): a cross switch of
+// (u1,v1),(u2,v2) is accepted only when deg(u1)=deg(u2) or deg(v1)=deg(v2)
+// after orienting the pair — the standard JDD-preserving MCMC move of the
+// paper's application [7]. Rejected proposals count as restarts. g is
+// modified in place. On graphs whose degrees are all distinct the chain
+// cannot move; the attempt budget guards against spinning forever.
+func SequentialJointDegree(g *graph.Graph, t int64, r *rng.RNG) (SeqStats, error) {
+	if t < 0 {
+		return SeqStats{}, fmt.Errorf("core: negative operation count %d", t)
+	}
+	if g.M() < 2 && t > 0 {
+		return SeqStats{}, fmt.Errorf("core: need at least 2 edges to switch, have %d", g.M())
+	}
+	// Degrees are switch-invariant: compute once.
+	deg := g.Degrees()
+	m0 := g.M()
+	var st SeqStats
+	budget := 1000*t + 10000
+	for st.Ops < t {
+		if st.Restarts >= budget {
+			return st, fmt.Errorf("core: joint-degree chain made no progress after %d rejections (%d/%d ops done) — degrees may be too heterogeneous", st.Restarts, st.Ops, t)
+		}
+		e1 := g.RandomEdge(r)
+		e2 := g.RandomEdge(r)
+		if switchInvalid(e1, e2) {
+			st.Restarts++
+			continue
+		}
+		// Orient the pair so the degree-equal endpoints line up: accept
+		// the cross switch if either orientation matches degrees.
+		var a, b graph.Edge
+		switch {
+		case deg[e1.U] == deg[e2.U] || deg[e1.V] == deg[e2.V]:
+			a, b = replacement(e1, e2, Cross)
+		case deg[e1.U] == deg[e2.V] || deg[e1.V] == deg[e2.U]:
+			a, b = replacement(e1, graph.Edge{U: e2.V, V: e2.U}, Cross)
+			a, b = a.Norm(), b.Norm()
+		default:
+			st.Restarts++
+			continue
+		}
+		if a.IsLoop() || b.IsLoop() || g.HasEdge(a) || g.HasEdge(b) {
+			st.Restarts++
+			continue
+		}
+		g.RemoveEdge(e1)
+		g.RemoveEdge(e2)
+		g.AddModified(a, r)
+		g.AddModified(b, r)
+		st.Ops++
+	}
+	st.VisitRate = VisitRate(g.Originals(), m0)
+	return st, nil
+}
+
+// JointDegreeDistribution computes the multiset of (min degree, max
+// degree) endpoint pairs over all edges — the invariant
+// SequentialJointDegree preserves. Returned as a map for comparison in
+// tests and applications.
+func JointDegreeDistribution(g *graph.Graph) map[[2]int]int64 {
+	deg := g.Degrees()
+	out := make(map[[2]int]int64)
+	for _, e := range g.Edges() {
+		a, b := deg[e.U], deg[e.V]
+		if a > b {
+			a, b = b, a
+		}
+		out[[2]int{a, b}]++
+	}
+	return out
+}

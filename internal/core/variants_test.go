@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// bipartiteGraph builds a random bipartite graph with leftSize+rightSize
+// vertices and m cross edges.
+func bipartiteGraph(t *testing.T, leftSize, rightSize int, m int64, seed uint64) *graph.Graph {
+	t.Helper()
+	r := rng.New(seed)
+	g := graph.New(leftSize + rightSize)
+	for g.M() < m {
+		u := graph.Vertex(r.Intn(leftSize))
+		v := graph.Vertex(leftSize + r.Intn(rightSize))
+		g.AddEdge(graph.Edge{U: u, V: v}, r)
+	}
+	return g
+}
+
+func TestSequentialBipartitePreservesEverything(t *testing.T) {
+	const leftSize = 120
+	g := bipartiteGraph(t, leftSize, 200, 900, 1)
+	before := degreeMultiset(g)
+	r := rng.New(2)
+	st, err := SequentialBipartite(g, leftSize, 2000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 2000 {
+		t.Fatalf("ops %d", st.Ops)
+	}
+	if err := g.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameDegrees(before, degreeMultiset(g)) {
+		t.Fatal("degree multiset changed")
+	}
+	// Bipartition must survive: every edge crosses.
+	for _, e := range g.Edges() {
+		if (int(e.U) < leftSize) == (int(e.V) < leftSize) {
+			t.Fatalf("edge %v violates bipartition", e)
+		}
+	}
+	if st.VisitRate < 0.5 {
+		t.Fatalf("visit rate %v suspiciously low", st.VisitRate)
+	}
+}
+
+func TestSequentialBipartiteMixes(t *testing.T) {
+	const leftSize = 80
+	g := bipartiteGraph(t, leftSize, 80, 600, 3)
+	orig := map[graph.Edge]bool{}
+	for _, e := range g.Edges() {
+		orig[e] = true
+	}
+	if _, err := SequentialBipartite(g, leftSize, 4000, rng.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, e := range g.Edges() {
+		if orig[e] {
+			same++
+		}
+	}
+	if float64(same) > 0.25*float64(g.M()) {
+		t.Fatalf("%d/%d edges unchanged", same, g.M())
+	}
+}
+
+func TestSequentialBipartiteValidation(t *testing.T) {
+	r := rng.New(5)
+	// Non-bipartite edge (both on the left).
+	g := graph.New(4)
+	g.AddEdge(graph.Edge{U: 0, V: 1}, r)
+	if _, err := SequentialBipartite(g, 2, 10, r); err == nil {
+		t.Fatal("same-side edge accepted")
+	}
+	g2 := bipartiteGraph(t, 5, 5, 10, 6)
+	if _, err := SequentialBipartite(g2, 0, 10, r); err == nil {
+		t.Fatal("leftSize 0 accepted")
+	}
+	if _, err := SequentialBipartite(g2, 10, 10, r); err == nil {
+		t.Fatal("leftSize n accepted")
+	}
+	if _, err := SequentialBipartite(g2, 5, -1, r); err == nil {
+		t.Fatal("negative t accepted")
+	}
+}
+
+func TestSequentialJointDegreePreservesJDD(t *testing.T) {
+	r := rng.New(7)
+	// A graph with plenty of repeated degrees so the chain can move.
+	g, err := gen.ErdosRenyi(r, 500, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := JointDegreeDistribution(g)
+	beforeDeg := degreeMultiset(g)
+	st, err := SequentialJointDegree(g, 1000, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ops != 1000 {
+		t.Fatalf("ops %d", st.Ops)
+	}
+	if err := g.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameDegrees(beforeDeg, degreeMultiset(g)) {
+		t.Fatal("degree multiset changed")
+	}
+	after := JointDegreeDistribution(g)
+	if len(after) != len(before) {
+		t.Fatalf("JDD support changed: %d vs %d", len(after), len(before))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatalf("JDD[%v] changed: %d -> %d", k, v, after[k])
+		}
+	}
+}
+
+func TestSequentialJointDegreeActuallyMoves(t *testing.T) {
+	r := rng.New(9)
+	g, err := gen.ErdosRenyi(r, 300, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := map[graph.Edge]bool{}
+	for _, e := range g.Edges() {
+		orig[e] = true
+	}
+	if _, err := SequentialJointDegree(g, 1500, rng.New(10)); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, e := range g.Edges() {
+		if orig[e] {
+			same++
+		}
+	}
+	if same == int(g.M()) {
+		t.Fatal("chain never moved")
+	}
+}
+
+func TestSequentialJointDegreeBudget(t *testing.T) {
+	r := rng.New(11)
+	// A star has no valid JDD-preserving switch (all pairs share the
+	// hub); the budget must fire instead of spinning forever.
+	var edges []graph.Edge
+	for v := 1; v <= 10; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.Vertex(v)})
+	}
+	g, err := graph.FromEdges(11, edges, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SequentialJointDegree(g, 5, r); err == nil {
+		t.Fatal("expected budget exhaustion on a star")
+	}
+}
+
+func TestJointDegreeDistribution(t *testing.T) {
+	r := rng.New(12)
+	// Path 0-1-2: degrees 1,2,1; edges (0,1) and (1,2) both (1,2) pairs.
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jdd := JointDegreeDistribution(g)
+	if len(jdd) != 1 || jdd[[2]int{1, 2}] != 2 {
+		t.Fatalf("jdd = %v", jdd)
+	}
+}

@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// DatasetSpec describes one Table 2 dataset stand-in. BaseN and AvgDeg
+// mirror the paper's shape at a reduced default scale; Build constructs
+// the graph at an arbitrary vertex count.
+type DatasetSpec struct {
+	Name    string  // paper's dataset name (lower-cased key)
+	Kind    string  // paper's "type of network" column
+	BaseN   int     // default vertex count (scale = 1.0)
+	AvgDeg  float64 // target average degree (paper's Table 2 value)
+	PaperN  string  // paper's vertex count, for documentation output
+	PaperM  string  // paper's edge count, for documentation output
+	Build   func(r *rng.RNG, n int, avgDeg float64) (*graph.Graph, error)
+	Default bool // included in "the eight graphs" scaling experiments
+}
+
+// datasetRegistry lists the stand-ins for every Table 2 dataset. Default
+// scales put each graph in the hundreds of thousands of edges so the full
+// eight-graph experiments run on one machine; pass a larger scale to
+// cmd/experiments to grow them.
+var datasetRegistry = []DatasetSpec{
+	{
+		Name: "miami", Kind: "Social Contact", BaseN: 21000, AvgDeg: 50.4,
+		PaperN: "2.1M", PaperM: "52.7M", Default: true,
+		Build: buildContact,
+	},
+	{
+		Name: "newyork", Kind: "Social Contact", BaseN: 50000, AvgDeg: 57.6,
+		PaperN: "20.38M", PaperM: "587.3M", Default: true,
+		Build: buildContact,
+	},
+	{
+		Name: "losangeles", Kind: "Social Contact", BaseN: 40000, AvgDeg: 58.7,
+		PaperN: "16.33M", PaperM: "479.4M", Default: true,
+		Build: buildContact,
+	},
+	{
+		Name: "flickr", Kind: "Online Community", BaseN: 23000, AvgDeg: 19.8,
+		PaperN: "2.3M", PaperM: "22.8M", Default: true,
+		Build: buildSocial,
+	},
+	{
+		Name: "livejournal", Kind: "Social", BaseN: 48000, AvgDeg: 17.8,
+		PaperN: "4.8M", PaperM: "42.8M", Default: true,
+		Build: buildSocial,
+	},
+	{
+		Name: "smallworld", Kind: "Random", BaseN: 48000, AvgDeg: 20,
+		PaperN: "4.8M", PaperM: "48M", Default: true,
+		Build: func(r *rng.RNG, n int, avgDeg float64) (*graph.Graph, error) {
+			return SmallWorld(r, n, int(avgDeg), 0.1)
+		},
+	},
+	{
+		Name: "erdosrenyi", Kind: "Erdős-Rényi Random", BaseN: 48000, AvgDeg: 20,
+		PaperN: "4.8M", PaperM: "48M", Default: true,
+		Build: func(r *rng.RNG, n int, avgDeg float64) (*graph.Graph, error) {
+			return ErdosRenyi(r, n, int64(avgDeg*float64(n)/2))
+		},
+	},
+	{
+		Name: "pa", Kind: "Pref. Attachment", BaseN: 100000, AvgDeg: 20,
+		PaperN: "100M (PA-100M) / 1B (PA-1B)", PaperM: "1B / 10B", Default: true,
+		Build: func(r *rng.RNG, n int, avgDeg float64) (*graph.Graph, error) {
+			return PrefAttachment(r, n, int(avgDeg/2))
+		},
+	},
+}
+
+func buildContact(r *rng.RNG, n int, avgDeg float64) (*graph.Graph, error) {
+	return Contact(r, ContactConfig{
+		N:             n,
+		AvgDegree:     avgDeg,
+		CommunitySize: 40,
+		WithinFrac:    0.8,
+	})
+}
+
+func buildSocial(r *rng.RNG, n int, avgDeg float64) (*graph.Graph, error) {
+	d := int(avgDeg / 2)
+	if d < 1 {
+		d = 1
+	}
+	g, err := HolmeKim(r, n, d, 0.4)
+	if err != nil {
+		return nil, err
+	}
+	// Crawled social graphs have no particular label-community
+	// correlation; shuffle labels so schemes are compared fairly.
+	return ShuffleLabels(r, g)
+}
+
+// DatasetNames lists the registry keys in a stable order.
+func DatasetNames() []string {
+	names := make([]string, len(datasetRegistry))
+	for i, s := range datasetRegistry {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupDataset returns the spec for name (case-insensitive).
+func LookupDataset(name string) (DatasetSpec, error) {
+	key := strings.ToLower(name)
+	for _, s := range datasetRegistry {
+		if s.Name == key {
+			return s, nil
+		}
+	}
+	return DatasetSpec{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, DatasetNames())
+}
+
+// Dataset builds the named stand-in at the given scale (scale multiplies
+// the default vertex count; scale <= 0 means 1).
+func Dataset(r *rng.RNG, name string, scale float64) (*graph.Graph, error) {
+	spec, err := LookupDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(spec.BaseN) * scale)
+	if n < 16 {
+		n = 16
+	}
+	return spec.Build(r, n, spec.AvgDeg)
+}
+
+// DefaultDatasets returns the eight stand-ins used by the strong-scaling
+// experiments, at the given scale.
+func DefaultDatasets() []DatasetSpec {
+	var out []DatasetSpec
+	for _, s := range datasetRegistry {
+		if s.Default {
+			out = append(out, s)
+		}
+	}
+	return out
+}

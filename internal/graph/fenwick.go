@@ -1,0 +1,71 @@
+package graph
+
+// Fenwick is a binary indexed tree over int64 weights, used to sample a
+// vertex with probability proportional to its current reduced degree in
+// O(log n) and to update a degree in O(log n). The edge-switch engines
+// keep one Fenwick tree per partition: entry i is the reduced degree of
+// the i-th local vertex, so the total is the number of edges owned by the
+// partition and a uniform edge pick is (weighted vertex pick, uniform
+// neighbour pick).
+type Fenwick struct {
+	tree  []int64
+	total int64
+}
+
+// NewFenwick returns a tree over n zero weights.
+func NewFenwick(n int) *Fenwick {
+	return &Fenwick{tree: make([]int64, n+1)}
+}
+
+// Len reports the number of slots.
+func (f *Fenwick) Len() int { return len(f.tree) - 1 }
+
+// Total reports the sum of all weights.
+func (f *Fenwick) Total() int64 { return f.total }
+
+// Add adds delta (which may be negative) to slot i.
+func (f *Fenwick) Add(i int, delta int64) {
+	f.total += delta
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// PrefixSum returns the sum of slots [0, i].
+func (f *Fenwick) PrefixSum(i int) int64 {
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Get returns the weight of slot i.
+func (f *Fenwick) Get(i int) int64 {
+	return f.PrefixSum(i) - f.PrefixSum(i-1)
+}
+
+// FindByPrefix returns the smallest index i such that PrefixSum(i) > target,
+// i.e. the slot selected by a uniform draw target in [0, Total()). It also
+// returns the offset of target within that slot, which the caller uses as
+// the neighbour rank to select. It panics if target is out of range.
+func (f *Fenwick) FindByPrefix(target int64) (slot int, offset int64) {
+	if target < 0 || target >= f.total {
+		panic("graph: Fenwick.FindByPrefix target out of range")
+	}
+	idx := 0
+	// Highest power of two <= len(tree)-1.
+	bit := 1
+	for bit<<1 <= len(f.tree)-1 {
+		bit <<= 1
+	}
+	rem := target
+	for ; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next < len(f.tree) && f.tree[next] <= rem {
+			rem -= f.tree[next]
+			idx = next
+		}
+	}
+	return idx, rem
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edgeswitch/internal/rng"
+)
+
+func TestFenwickBasic(t *testing.T) {
+	f := NewFenwick(5)
+	if f.Len() != 5 || f.Total() != 0 {
+		t.Fatal("new fenwick wrong shape")
+	}
+	f.Add(0, 3)
+	f.Add(2, 5)
+	f.Add(4, 1)
+	if f.Total() != 9 {
+		t.Fatalf("total %d want 9", f.Total())
+	}
+	wantPrefix := []int64{3, 3, 8, 8, 9}
+	for i, w := range wantPrefix {
+		if got := f.PrefixSum(i); got != w {
+			t.Fatalf("PrefixSum(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if f.Get(2) != 5 || f.Get(1) != 0 {
+		t.Fatal("Get wrong")
+	}
+	f.Add(2, -5)
+	if f.Total() != 4 || f.Get(2) != 0 {
+		t.Fatal("negative delta not applied")
+	}
+}
+
+func TestFenwickFindByPrefix(t *testing.T) {
+	f := NewFenwick(4)
+	weights := []int64{2, 0, 3, 1}
+	for i, w := range weights {
+		f.Add(i, w)
+	}
+	// Cumulative: [0,2) -> slot0, [2,5) -> slot2, [5,6) -> slot3.
+	cases := []struct {
+		target int64
+		slot   int
+		offset int64
+	}{
+		{0, 0, 0}, {1, 0, 1}, {2, 2, 0}, {3, 2, 1}, {4, 2, 2}, {5, 3, 0},
+	}
+	for _, c := range cases {
+		slot, off := f.FindByPrefix(c.target)
+		if slot != c.slot || off != c.offset {
+			t.Fatalf("FindByPrefix(%d) = (%d,%d), want (%d,%d)", c.target, slot, off, c.slot, c.offset)
+		}
+	}
+}
+
+func TestFenwickFindByPrefixPanics(t *testing.T) {
+	f := NewFenwick(3)
+	f.Add(0, 1)
+	for _, target := range []int64{-1, 1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for target %d", target)
+				}
+			}()
+			f.FindByPrefix(target)
+		}()
+	}
+}
+
+// TestFenwickAgainstNaive drives the tree with random updates and checks
+// prefix sums and FindByPrefix against a plain slice.
+func TestFenwickAgainstNaive(t *testing.T) {
+	r := rng.New(1)
+	const n = 128
+	f := NewFenwick(n)
+	ref := make([]int64, n)
+	for step := 0; step < 5000; step++ {
+		i := r.Intn(n)
+		delta := r.Int64n(7) - ref[i]%3 // mixed sign but keep weights >= 0
+		if ref[i]+delta < 0 {
+			delta = -ref[i]
+		}
+		f.Add(i, delta)
+		ref[i] += delta
+
+		// Spot-check a random prefix.
+		j := r.Intn(n)
+		var want int64
+		for k := 0; k <= j; k++ {
+			want += ref[k]
+		}
+		if got := f.PrefixSum(j); got != want {
+			t.Fatalf("step %d: PrefixSum(%d) = %d, want %d", step, j, got, want)
+		}
+
+		// Spot-check FindByPrefix if non-empty.
+		if f.Total() > 0 {
+			target := r.Int64n(f.Total())
+			slot, off := f.FindByPrefix(target)
+			var cum int64
+			wantSlot := -1
+			var wantOff int64
+			for k := 0; k < n; k++ {
+				if target < cum+ref[k] {
+					wantSlot, wantOff = k, target-cum
+					break
+				}
+				cum += ref[k]
+			}
+			if slot != wantSlot || off != wantOff {
+				t.Fatalf("step %d: FindByPrefix(%d) = (%d,%d), want (%d,%d)",
+					step, target, slot, off, wantSlot, wantOff)
+			}
+		}
+	}
+}
+
+// TestFenwickNonPowerOfTwoSizes checks FindByPrefix across awkward sizes.
+func TestFenwickNonPowerOfTwoSizes(t *testing.T) {
+	f := func(sizeRaw uint8, seed uint64) bool {
+		n := int(sizeRaw%60) + 1
+		r := rng.New(seed)
+		fw := NewFenwick(n)
+		ref := make([]int64, n)
+		for i := 0; i < n; i++ {
+			w := r.Int64n(4)
+			fw.Add(i, w)
+			ref[i] = w
+		}
+		if fw.Total() == 0 {
+			return true
+		}
+		for trial := 0; trial < 20; trial++ {
+			target := r.Int64n(fw.Total())
+			slot, off := fw.FindByPrefix(target)
+			var cum int64
+			for k := 0; k < slot; k++ {
+				cum += ref[k]
+			}
+			if target != cum+off || off >= ref[slot] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFenwickAdd(b *testing.B) {
+	f := NewFenwick(1 << 20)
+	for i := 0; i < b.N; i++ {
+		f.Add(i&(1<<20-1), 1)
+	}
+}
+
+func BenchmarkFenwickFindByPrefix(b *testing.B) {
+	r := rng.New(2)
+	const n = 1 << 20
+	f := NewFenwick(n)
+	for i := 0; i < n; i++ {
+		f.Add(i, int64(r.Intn(20)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FindByPrefix(r.Int64n(f.Total()))
+	}
+}

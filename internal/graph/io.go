@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a text edge list: a header line
+// "# n m" followed by one "u v" line per edge, normalized and sorted.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	for u := 0; u < g.N() && werr == nil; u++ {
+		g.adj[u].Walk(func(v Vertex, _ bool) bool {
+			_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+			return werr == nil
+		})
+	}
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format written by WriteEdgeList.
+// Lines beginning with '#' other than the header are ignored, as are
+// blank lines, so files from other tools usually load unchanged.
+// If the header is absent, n is inferred as max label + 1.
+func ReadEdgeList(r io.Reader, rnd randSource) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	n := 0
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if first {
+				fields := strings.Fields(line[1:])
+				if len(fields) >= 1 {
+					if v, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+						if v < 0 || v > maxVertices {
+							return nil, fmt.Errorf("graph: header vertex count %d out of [0,%d]", v, maxVertices)
+						}
+						n = int(v)
+					}
+				}
+			}
+			first = false
+			continue
+		}
+		first = false
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: malformed edge line %q", line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex %q: %v", fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex %q: %v", fields[1], err)
+		}
+		edges = append(edges, Edge{Vertex(u), Vertex(v)})
+		if int(u) >= n {
+			n = int(u) + 1
+		}
+		if int(v) >= n {
+			n = int(v) + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(n, edges, rnd)
+}
+
+// maxVertices bounds the vertex counts the parsers accept; labels must
+// fit the int32 Vertex type regardless.
+const maxVertices = 1<<31 - 1
+
+// binaryMagic identifies the binary edge-list format.
+const binaryMagic = 0x45535747 // "ESWG"
+
+// WriteBinary writes a compact little-endian binary encoding:
+// magic, n, m, then m (u,v) uint32 pairs.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := [16]byte{}
+	binary.LittleEndian.PutUint32(hdr[0:], binaryMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.N()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.M()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	var werr error
+	for u := 0; u < g.N() && werr == nil; u++ {
+		g.adj[u].Walk(func(v Vertex, _ bool) bool {
+			binary.LittleEndian.PutUint32(buf[0:], uint32(u))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(v))
+			_, werr = bw.Write(buf[:])
+			return werr == nil
+		})
+	}
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format written by WriteBinary.
+func ReadBinary(r io.Reader, rnd randSource) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: short binary header: %v", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic in binary edge list")
+	}
+	n64 := int64(binary.LittleEndian.Uint32(hdr[4:]))
+	m := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	if n64 > maxVertices {
+		return nil, fmt.Errorf("graph: binary header vertex count %d exceeds %d", n64, maxVertices)
+	}
+	n := int(n64)
+	if m < 0 || (n > 0 && m > int64(n)*int64(n-1)/2) || (n == 0 && m > 0) {
+		return nil, fmt.Errorf("graph: binary header edge count %d infeasible for n=%d", m, n)
+	}
+	g := New(n)
+	var buf [8]byte
+	for i := int64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("graph: truncated binary edge list at %d/%d: %v", i, m, err)
+		}
+		e := Edge{
+			Vertex(binary.LittleEndian.Uint32(buf[0:])),
+			Vertex(binary.LittleEndian.Uint32(buf[4:])),
+		}
+		if err := g.addChecked(e, true, rnd); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

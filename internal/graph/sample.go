@@ -1,0 +1,47 @@
+package graph
+
+import "sort"
+
+// SampleSubgraph returns the subgraph induced by k uniformly chosen
+// vertices, relabeled densely to 0..k-1 (ascending by original label),
+// preserving original flags. Use it to build representative subsamples
+// for step-size tuning or metric estimation on huge graphs. k is clamped
+// to [0, n].
+func SampleSubgraph(g *Graph, k int, r randSource) *Graph {
+	n := g.N()
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	// Floyd-ish sampling via partial shuffle of the vertex ids.
+	ids := make([]Vertex, n)
+	for i := range ids {
+		ids[i] = Vertex(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	chosen := ids[:k]
+	// Dense relabeling in ascending original order keeps any
+	// label-locality structure of the input (important when the sample
+	// feeds CP-partitioned tuning runs).
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+	newLabel := make(map[Vertex]Vertex, k)
+	for i, v := range chosen {
+		newLabel[v] = Vertex(i)
+	}
+	out := New(k)
+	for _, u := range chosen {
+		nu := newLabel[u]
+		g.WalkReduced(u, func(v Vertex, orig bool) bool {
+			if nv, ok := newLabel[v]; ok {
+				out.insert(Edge{U: nu, V: nv}.Norm(), orig, r)
+			}
+			return true
+		})
+	}
+	return out
+}

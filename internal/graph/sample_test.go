@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"testing"
+
+	"edgeswitch/internal/rng"
+)
+
+func TestSampleSubgraphShape(t *testing.T) {
+	r := rng.New(1)
+	g := New(100)
+	for i := 0; i < 99; i++ {
+		g.AddEdge(Edge{U: Vertex(i), V: Vertex(i + 1)}, r)
+	}
+	s := SampleSubgraph(g, 40, r)
+	if s.N() != 40 {
+		t.Fatalf("n=%d", s.N())
+	}
+	if err := s.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+	// Path subsample: edges exist only between consecutively chosen
+	// originals, so m <= 39.
+	if s.M() > 39 {
+		t.Fatalf("m=%d", s.M())
+	}
+}
+
+func TestSampleSubgraphClamps(t *testing.T) {
+	r := rng.New(2)
+	g := New(5)
+	g.AddEdge(Edge{U: 0, V: 1}, r)
+	if s := SampleSubgraph(g, 50, r); s.N() != 5 || s.M() != 1 {
+		t.Fatalf("oversampled: n=%d m=%d", s.N(), s.M())
+	}
+	if s := SampleSubgraph(g, 0, r); s.N() != 0 || s.M() != 0 {
+		t.Fatalf("zero sample: n=%d m=%d", s.N(), s.M())
+	}
+	if s := SampleSubgraph(g, -2, r); s.N() != 0 {
+		t.Fatalf("negative k: n=%d", s.N())
+	}
+}
+
+func TestSampleSubgraphFullIsIsomorphicCopy(t *testing.T) {
+	r := rng.New(3)
+	g := New(20)
+	for i := 0; i < 19; i++ {
+		g.AddEdge(Edge{U: Vertex(i), V: Vertex(i + 1)}, r)
+	}
+	g.RemoveEdge(Edge{U: 3, V: 4})
+	g.AddModified(Edge{U: 0, V: 10}, r)
+	s := SampleSubgraph(g, 20, r)
+	if s.N() != g.N() || s.M() != g.M() {
+		t.Fatalf("full sample differs: n=%d m=%d", s.N(), s.M())
+	}
+	// With all vertices chosen the dense relabeling is the identity.
+	ge, se := g.Edges(), s.Edges()
+	for i := range ge {
+		if ge[i] != se[i] {
+			t.Fatalf("edge %d: %v != %v", i, ge[i], se[i])
+		}
+	}
+	if s.Originals() != g.Originals() {
+		t.Fatalf("original flags lost: %d vs %d", s.Originals(), g.Originals())
+	}
+}
+
+func TestSampleSubgraphDegreesBounded(t *testing.T) {
+	r := rng.New(4)
+	g := New(60)
+	// Star at 0.
+	for v := 1; v < 60; v++ {
+		g.AddEdge(Edge{U: 0, V: Vertex(v)}, r)
+	}
+	s := SampleSubgraph(g, 30, r)
+	// Induced subgraph degrees never exceed original degrees.
+	for _, d := range s.Degrees() {
+		if d > 59 {
+			t.Fatalf("degree %d exceeds original", d)
+		}
+	}
+	if err := s.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package graph
+
+// AdjSet is an order-statistic balanced binary search tree (a treap)
+// holding the reduced adjacency list of one vertex. It supports the three
+// operations the edge-switch algorithms need, all in O(log d) expected
+// time: membership test (parallel-edge detection), insert/delete (applying
+// a switch), and k-th smallest selection (uniform random neighbour pick).
+//
+// Each entry carries an "original" flag used for visit-rate accounting:
+// edges present in the input graph are original; edges created by a switch
+// are modified (§3.1 of the paper).
+type AdjSet struct {
+	root *treapNode
+}
+
+type treapNode struct {
+	left, right *treapNode
+	key         Vertex
+	prio        uint32
+	size        int32
+	original    bool
+}
+
+func size(n *treapNode) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *treapNode) update() { n.size = 1 + size(n.left) + size(n.right) }
+
+// Len reports the number of entries in the set.
+func (s *AdjSet) Len() int { return int(size(s.root)) }
+
+// Contains reports whether v is in the set.
+func (s *AdjSet) Contains(v Vertex) bool {
+	n := s.root
+	for n != nil {
+		switch {
+		case v < n.key:
+			n = n.left
+		case v > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Original reports whether v is present and still flagged as an original
+// (unswitched) edge endpoint.
+func (s *AdjSet) Original(v Vertex) bool {
+	n := s.root
+	for n != nil {
+		switch {
+		case v < n.key:
+			n = n.left
+		case v > n.key:
+			n = n.right
+		default:
+			return n.original
+		}
+	}
+	return false
+}
+
+// Kth returns the k-th smallest entry (0-based) and its original flag.
+// It panics if k is out of range; callers sample k uniformly in [0, Len()).
+func (s *AdjSet) Kth(k int) (Vertex, bool) {
+	n := s.root
+	ki := int32(k)
+	for n != nil {
+		ls := size(n.left)
+		switch {
+		case ki < ls:
+			n = n.left
+		case ki > ls:
+			ki -= ls + 1
+			n = n.right
+		default:
+			return n.key, n.original
+		}
+	}
+	panic("graph: AdjSet.Kth index out of range")
+}
+
+// Insert adds v with the given original flag and treap priority prio
+// (callers pass fresh random bits). It reports whether the value was newly
+// inserted (false means it was already present; the flag is left unchanged
+// in that case, since a duplicate insert indicates a parallel edge the
+// caller should have rejected).
+func (s *AdjSet) Insert(v Vertex, original bool, prio uint32) bool {
+	if s.Contains(v) {
+		return false
+	}
+	nn := &treapNode{key: v, prio: prio, size: 1, original: original}
+	l, rsub := split(s.root, v)
+	s.root = merge(merge(l, nn), rsub)
+	return true
+}
+
+// Delete removes v, reporting whether it was present and whether the
+// removed entry was an original edge.
+func (s *AdjSet) Delete(v Vertex) (found, original bool) {
+	var del func(n *treapNode) *treapNode
+	del = func(n *treapNode) *treapNode {
+		if n == nil {
+			return nil
+		}
+		switch {
+		case v < n.key:
+			n.left = del(n.left)
+		case v > n.key:
+			n.right = del(n.right)
+		default:
+			found, original = true, n.original
+			return merge(n.left, n.right)
+		}
+		n.update()
+		return n
+	}
+	s.root = del(s.root)
+	return found, original
+}
+
+// split partitions n into keys < v and keys > v. The caller guarantees v
+// is not present.
+func split(n *treapNode, v Vertex) (l, r *treapNode) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key < v {
+		n.right, r = split(n.right, v)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, v)
+	n.update()
+	return l, n
+}
+
+// merge joins two treaps where every key in l precedes every key in r.
+func merge(l, r *treapNode) *treapNode {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// Walk calls fn for each entry in ascending key order. Returning false
+// from fn stops the walk early.
+func (s *AdjSet) Walk(fn func(v Vertex, original bool) bool) {
+	var walk func(n *treapNode) bool
+	walk = func(n *treapNode) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.key, n.original) && walk(n.right)
+	}
+	walk(s.root)
+}
+
+// Keys returns all entries in ascending order. Intended for tests and
+// small-scale inspection.
+func (s *AdjSet) Keys() []Vertex {
+	out := make([]Vertex, 0, s.Len())
+	s.Walk(func(v Vertex, _ bool) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"edgeswitch/internal/rng"
+)
+
+func TestAdjSetBasic(t *testing.T) {
+	r := rng.New(1)
+	var s AdjSet
+	if s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	if !s.Insert(5, true, r.Uint32()) {
+		t.Fatal("insert of new key failed")
+	}
+	if s.Insert(5, false, r.Uint32()) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !s.Contains(5) || s.Contains(6) {
+		t.Fatal("contains wrong")
+	}
+	if !s.Original(5) {
+		t.Fatal("original flag lost")
+	}
+	found, orig := s.Delete(5)
+	if !found || !orig {
+		t.Fatalf("delete = (%v,%v), want (true,true)", found, orig)
+	}
+	if found, _ := s.Delete(5); found {
+		t.Fatal("double delete reported found")
+	}
+	if s.Len() != 0 {
+		t.Fatal("set not empty after delete")
+	}
+}
+
+func TestAdjSetOrderedWalk(t *testing.T) {
+	r := rng.New(2)
+	var s AdjSet
+	vals := []Vertex{9, 3, 7, 1, 5, 11, 2}
+	for _, v := range vals {
+		s.Insert(v, true, r.Uint32())
+	}
+	got := s.Keys()
+	want := append([]Vertex(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("len %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Keys()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAdjSetKth(t *testing.T) {
+	r := rng.New(3)
+	var s AdjSet
+	for _, v := range []Vertex{10, 20, 30, 40, 50} {
+		s.Insert(v, true, r.Uint32())
+	}
+	for k, want := range []Vertex{10, 20, 30, 40, 50} {
+		if got, _ := s.Kth(k); got != want {
+			t.Fatalf("Kth(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestAdjSetKthPanicsOutOfRange(t *testing.T) {
+	var s AdjSet
+	s.Insert(1, true, 12345)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Kth(1)
+}
+
+func TestAdjSetOriginalFlagPerEntry(t *testing.T) {
+	r := rng.New(4)
+	var s AdjSet
+	s.Insert(1, true, r.Uint32())
+	s.Insert(2, false, r.Uint32())
+	if !s.Original(1) || s.Original(2) || s.Original(3) {
+		t.Fatal("original flags wrong")
+	}
+	_, orig := s.Kth(1)
+	if orig {
+		t.Fatal("Kth returned wrong original flag")
+	}
+}
+
+// TestAdjSetAgainstMap drives the treap with random operations and checks
+// it against a reference map implementation.
+func TestAdjSetAgainstMap(t *testing.T) {
+	r := rng.New(5)
+	var s AdjSet
+	ref := map[Vertex]bool{} // value = original flag
+	for i := 0; i < 20000; i++ {
+		v := Vertex(r.Intn(500))
+		switch r.Intn(3) {
+		case 0: // insert
+			orig := r.Bool()
+			_, exists := ref[v]
+			if s.Insert(v, orig, r.Uint32()) == exists {
+				t.Fatalf("step %d: insert(%d) disagreed with reference", i, v)
+			}
+			if !exists {
+				ref[v] = orig
+			}
+		case 1: // delete
+			want, exists := ref[v]
+			found, orig := s.Delete(v)
+			if found != exists || (found && orig != want) {
+				t.Fatalf("step %d: delete(%d) = (%v,%v), want (%v,%v)", i, v, found, orig, exists, want)
+			}
+			delete(ref, v)
+		case 2: // query
+			if s.Contains(v) != func() bool { _, ok := ref[v]; return ok }() {
+				t.Fatalf("step %d: contains(%d) disagreed", i, v)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: len %d != ref %d", i, s.Len(), len(ref))
+		}
+	}
+	// Final ordering check.
+	keys := s.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("final walk out of order")
+		}
+	}
+}
+
+// TestAdjSetKthMatchesSortedOrder is a property test: for any set of
+// distinct values, Kth(k) must equal the k-th smallest.
+func TestAdjSetKthMatchesSortedOrder(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		r := rng.New(seed)
+		var s AdjSet
+		uniq := map[Vertex]bool{}
+		for _, x := range raw {
+			uniq[Vertex(x)] = true
+		}
+		var want []Vertex
+		for v := range uniq {
+			want = append(want, v)
+			s.Insert(v, true, r.Uint32())
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if s.Len() != len(want) {
+			return false
+		}
+		for k, w := range want {
+			if got, _ := s.Kth(k); got != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjSetWalkEarlyStop(t *testing.T) {
+	r := rng.New(6)
+	var s AdjSet
+	for v := Vertex(0); v < 100; v++ {
+		s.Insert(v, true, r.Uint32())
+	}
+	visited := 0
+	s.Walk(func(v Vertex, _ bool) bool {
+		visited++
+		return visited < 10
+	})
+	if visited != 10 {
+		t.Fatalf("early stop visited %d, want 10", visited)
+	}
+}
+
+func BenchmarkAdjSetInsertDelete(b *testing.B) {
+	r := rng.New(7)
+	var s AdjSet
+	for i := 0; i < b.N; i++ {
+		v := Vertex(r.Intn(1 << 20))
+		if !s.Insert(v, true, r.Uint32()) {
+			s.Delete(v)
+		}
+	}
+}
+
+func BenchmarkAdjSetKth(b *testing.B) {
+	r := rng.New(8)
+	var s AdjSet
+	for i := 0; i < 1000; i++ {
+		s.Insert(Vertex(i*3), true, r.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Kth(r.Intn(1000))
+	}
+}

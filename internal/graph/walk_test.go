@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"testing"
+
+	"edgeswitch/internal/rng"
+)
+
+func TestWalkReduced(t *testing.T) {
+	r := rng.New(1)
+	g := New(5)
+	g.AddEdge(Edge{U: 1, V: 3}, r)
+	g.AddEdge(Edge{U: 1, V: 4}, r)
+	g.AddModified(Edge{U: 1, V: 2}, r)
+	g.AddEdge(Edge{U: 0, V: 1}, r) // stored at 0, must not appear for 1
+
+	var got []Vertex
+	var flags []bool
+	g.WalkReduced(1, func(v Vertex, orig bool) bool {
+		got = append(got, v)
+		flags = append(flags, orig)
+		return true
+	})
+	want := []Vertex{2, 3, 4}
+	wantFlags := []bool{false, true, true}
+	if len(got) != len(want) {
+		t.Fatalf("walked %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] || flags[i] != wantFlags[i] {
+			t.Fatalf("entry %d: (%d,%v), want (%d,%v)", i, got[i], flags[i], want[i], wantFlags[i])
+		}
+	}
+
+	// Early stop.
+	count := 0
+	g.WalkReduced(1, func(Vertex, bool) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop walked %d entries", count)
+	}
+
+	// Vertex with empty reduced list.
+	g.WalkReduced(4, func(Vertex, bool) bool {
+		t.Fatal("walked entry of empty list")
+		return false
+	})
+}

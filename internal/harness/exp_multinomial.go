@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"edgeswitch/internal/mpi"
+	"edgeswitch/internal/randvar"
+	"edgeswitch/internal/rng"
+)
+
+// timeMultinomial runs the parallel multinomial generator once over p
+// ranks and reports rank-0's wall-clock time between barriers.
+func timeMultinomial(p int, n int64, l int, seed uint64) (time.Duration, error) {
+	q := make([]float64, l)
+	for i := range q {
+		q[i] = 1 / float64(l)
+	}
+	w, err := mpi.NewWorld(p)
+	if err != nil {
+		return 0, err
+	}
+	defer w.Close()
+	var elapsed time.Duration
+	err = w.Run(func(c *mpi.Comm) error {
+		r := rng.Split(seed, c.Rank())
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := randvar.ParallelMultinomial(c, r, n, q); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			elapsed = time.Since(start)
+		}
+		return nil
+	})
+	return elapsed, err
+}
+
+// runFig24 is the strong scaling of the parallel multinomial generator.
+// The paper uses N = 10000B trials, ℓ = 20, qᵢ = 1/ℓ on up to 1024
+// processors (speedup 925); the trial count here is scaled to the host.
+func runFig24(cfg Config) error {
+	n := int64(2_000_000_000 * cfg.Scale)
+	if cfg.Quick {
+		n = 5_000_000
+	}
+	const l = 20
+	fmt.Fprintf(cfg.Out, "N=%d trials, l=%d outcomes, q=1/l\n", n, l)
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "p\ttime ms\tspeedup")
+	var base time.Duration
+	for _, p := range rankSweep(cfg) {
+		d, err := timeMultinomial(p, n, l, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		if p == 1 {
+			base = d
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\n", p, ms(d), float64(base)/float64(d))
+	}
+	return tw.Flush()
+}
+
+// runFig25 is the weak scaling of the parallel multinomial generator:
+// N = p·N₀ trials and ℓ = p outcomes, so per-rank work is constant and
+// the runtime should stay flat.
+func runFig25(cfg Config) error {
+	n0 := int64(40_000_000 * cfg.Scale)
+	if cfg.Quick {
+		n0 = 1_000_000
+	}
+	fmt.Fprintf(cfg.Out, "N = p x %d trials, l = p outcomes, q=1/l\n", n0)
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "p\tN\ttime ms")
+	for _, p := range rankSweep(cfg) {
+		d, err := timeMultinomial(p, int64(p)*n0, p, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\n", p, int64(p)*n0, ms(d))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"edgeswitch/internal/core"
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/rng"
+)
+
+// runTable1 reproduces Table 1 / Fig. 2: perform t = E[T]/2 operations
+// for each desired visit rate and compare the observed rate, repeating
+// Reps times. The paper's average error over 100 runs is 0.007%.
+func runTable1(cfg Config) error {
+	g, err := dataset(cfg, "miami")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "graph: miami stand-in, n=%d m=%d, reps=%d\n", g.N(), g.M(), cfg.Reps)
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "desired x\tobserved mean\tobserved min\tobserved max\tavg error %")
+	var totalErr, totalX float64
+	for _, x := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		t, err := opsForX(g, x)
+		if err != nil {
+			return err
+		}
+		minV, maxV, sum := math.Inf(1), math.Inf(-1), 0.0
+		var errSum float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			r := rng.Split(cfg.Seed, 3000+rep*100+int(x*10))
+			work := g.Clone(r)
+			st, err := core.Sequential(work, t, r)
+			if err != nil {
+				return err
+			}
+			v := st.VisitRate
+			sum += v
+			errSum += math.Abs(v - x)
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		avgErr := errSum / float64(cfg.Reps) / x * 100
+		totalErr += errSum
+		totalX += x * float64(cfg.Reps)
+		fmt.Fprintf(tw, "%.1f\t%.6f\t%.6f\t%.6f\t%.4f\n", x, sum/float64(cfg.Reps), minV, maxV, avgErr)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "overall average error rate: %.4f%% (paper: 0.007%%)\n", totalErr/totalX*100)
+	return nil
+}
+
+// runTable2 reproduces Table 2: the dataset inventory, with the paper's
+// original sizes alongside the stand-in sizes at the configured scale.
+func runTable2(cfg Config) error {
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "dataset\ttype\tvertices\tedges\tavg degree\tpaper vertices\tpaper edges")
+	for _, spec := range gen.DefaultDatasets() {
+		g, err := dataset(cfg, spec.Name)
+		if err != nil {
+			return err
+		}
+		avg := 2 * float64(g.M()) / float64(g.N())
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\t%s\t%s\n",
+			spec.Name, spec.Kind, g.N(), g.M(), avg, spec.PaperN, spec.PaperM)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(buf *bytes.Buffer) Config {
+	return Config{Quick: true, Out: buf, Seed: 7}
+}
+
+// TestEveryExperimentRunsQuick smoke-tests each experiment at tiny scale:
+// it must complete without error and emit a non-trivial table.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := Run(e.ID, quickCfg(&buf)); err != nil {
+				t.Fatalf("%s: %v\noutput so far:\n%s", e.ID, err, buf.String())
+			}
+			out := buf.String()
+			if len(out) < 80 {
+				t.Fatalf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("%s: header missing:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("bogus"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if err := Run("bogus", Config{}); err == nil {
+		t.Fatal("Run accepted unknown id")
+	}
+}
+
+func TestExperimentsCoverPaper(t *testing.T) {
+	// Every evaluation artifact of the paper must have an experiment.
+	want := []string{
+		"table1", "table2", "table3",
+		"fig4", "fig5", "fig6_7", "fig8_9", "fig10_11", "fig12_13",
+		"fig14", "fig15", "fig16_17", "fig18", "fig19_20", "fig21_22",
+		"fig23", "fig24", "fig25", "fig4_model",
+	}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.ID] = true
+		if e.Paper == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q missing", id)
+		}
+	}
+	if len(have) != len(want) {
+		t.Fatalf("unexpected extra experiments: %v", have)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 0.25 || c.Seed != 42 || c.Reps != 5 || c.Blocks != 20 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.MaxRanks < 2 {
+		t.Fatalf("MaxRanks %d", c.MaxRanks)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.Scale != 0.02 || q.MaxRanks > 4 || q.Reps > 2 {
+		t.Fatalf("quick defaults: %+v", q)
+	}
+}
+
+func TestStepSizes(t *testing.T) {
+	ss := stepSizes(1000)
+	if ss[0] != 1 {
+		t.Fatalf("smallest step %d", ss[0])
+	}
+	last := ss[len(ss)-1]
+	if last != 1000 {
+		t.Fatalf("largest step %d", last)
+	}
+	seen := map[int64]bool{}
+	for _, s := range ss {
+		if seen[s] {
+			t.Fatalf("duplicate step %d in %v", s, ss)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDeciles(t *testing.T) {
+	min, med, max, imb := deciles([]int64{4, 1, 3, 2})
+	if min != 1 || max != 4 || med != 3 {
+		t.Fatalf("deciles: %d %d %d", min, med, max)
+	}
+	if imb != 1.6 {
+		t.Fatalf("imbalance %f", imb)
+	}
+	if _, _, _, z := deciles(nil); z != 0 {
+		t.Fatal("empty deciles")
+	}
+}

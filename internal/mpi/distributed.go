@@ -1,0 +1,261 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Distributed operation: each OS process hosts exactly one rank. Rank 0
+// doubles as the coordinator — it runs the routing hub every peer dials,
+// using the same frame format and per-pair FIFO guarantees as the
+// in-process TCP transport. This is the fully distributed-memory mode:
+// ranks share nothing but the wire.
+//
+// Typical use (see cmd/esworker):
+//
+//	pw, err := JoinDistributed(rank, size, "127.0.0.1:9876")
+//	...
+//	err = pw.Run(func(c *Comm) error { ... })
+//	pw.Close()
+
+// ProcWorld is one process's membership in a distributed world.
+type ProcWorld struct {
+	rank, size int
+	box        *mailbox
+	client     *distClient
+	hub        *distHub // non-nil on rank 0 only
+}
+
+// JoinDistributed connects this process to a distributed world of the
+// given size as the given rank. Rank 0 listens on addr and routes all
+// traffic; other ranks dial addr (retrying until the coordinator is up,
+// within timeout). All ranks must agree on size.
+func JoinDistributed(rank, size int, addr string, timeout time.Duration) (*ProcWorld, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: invalid rank %d of %d", rank, size)
+	}
+	pw := &ProcWorld{rank: rank, size: size, box: newMailbox()}
+	if rank == 0 {
+		hub, err := newDistHub(addr, size)
+		if err != nil {
+			return nil, err
+		}
+		pw.hub = hub
+	}
+	client, err := dialDist(rank, addr, pw.box, timeout)
+	if err != nil {
+		if pw.hub != nil {
+			pw.hub.stop()
+		}
+		return nil, err
+	}
+	pw.client = client
+	return pw, nil
+}
+
+// Rank reports this process's rank.
+func (pw *ProcWorld) Rank() int { return pw.rank }
+
+// Size reports the world size.
+func (pw *ProcWorld) Size() int { return pw.size }
+
+// Run executes body with this process's Comm. Unlike World.Run it runs
+// exactly one rank; the peers run in their own processes.
+func (pw *ProcWorld) Run(body func(c *Comm) error) error {
+	w := &World{size: pw.size, transport: pw.client}
+	w.boxes = make([]*mailbox, pw.size)
+	w.boxes[pw.rank] = pw.box
+	return body(&Comm{world: w, rank: pw.rank})
+}
+
+// Close tears down the connection (and the hub on rank 0). Call only
+// after all ranks have finished their exchanges.
+func (pw *ProcWorld) Close() error {
+	pw.box.close()
+	if pw.client != nil {
+		pw.client.stop()
+	}
+	if pw.hub != nil {
+		pw.hub.stop()
+	}
+	return nil
+}
+
+// distClient is the per-process transport: one connection to the hub.
+type distClient struct {
+	rank int
+	conn net.Conn
+	wmu  sync.Mutex
+	wg   sync.WaitGroup
+}
+
+func dialDist(rank int, addr string, box *mailbox, timeout time.Duration) (*distClient, error) {
+	deadline := time.Now().Add(timeout)
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mpi: dialing coordinator %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mpi: distributed handshake: %w", err)
+	}
+	c := &distClient{rank: rank, conn: conn}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		readFrames(conn, func(src, tag int, payload []byte) {
+			box.put(Message{Src: src, Tag: tag, Data: payload})
+		})
+	}()
+	return c, nil
+}
+
+func (c *distClient) start(boxes []*mailbox) error { return nil }
+
+func (c *distClient) send(src, dst, tag int, data []byte) error {
+	frame := make([]byte, frameHeader+len(data))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(dst))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(frame[8:], uint32(len(data)))
+	copy(frame[frameHeader:], data)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.conn.Write(frame)
+	return err
+}
+
+func (c *distClient) stop() error {
+	c.conn.Close()
+	c.wg.Wait()
+	return nil
+}
+
+// readFrames decodes frames from r until error/EOF, invoking fn per frame.
+func readFrames(r io.Reader, fn func(peer, tag int, payload []byte)) {
+	for {
+		frame, peer, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		tag := int(int32(binary.LittleEndian.Uint32(frame[4:])))
+		payload := frame[frameHeader:]
+		fn(peer, tag, payload)
+	}
+}
+
+// distHub is the coordinator-side router: identical routing discipline to
+// the in-process TCP transport's hub.
+type distHub struct {
+	ln      net.Listener
+	size    int
+	mu      sync.Mutex
+	writers []*hubWriter
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// writerFor returns rank's writer, waiting for it to join if necessary
+// (nil after shutdown).
+func (h *distHub) writerFor(rank int) *hubWriter {
+	for {
+		h.mu.Lock()
+		hw := h.writers[rank]
+		h.mu.Unlock()
+		if hw != nil {
+			return hw
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func newDistHub(addr string, size int) (*distHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: coordinator listen on %s: %w", addr, err)
+	}
+	h := &distHub{ln: ln, size: size, writers: make([]*hubWriter, size)}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		h.accept()
+	}()
+	return h, nil
+}
+
+func (h *distHub) accept() {
+	for joined := 0; joined < h.size; joined++ {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			conn.Close()
+			return
+		}
+		rank := int(int32(binary.LittleEndian.Uint32(hdr[:])))
+		h.mu.Lock()
+		if rank < 0 || rank >= h.size || h.writers[rank] != nil {
+			h.mu.Unlock()
+			conn.Close()
+			return
+		}
+		hw := newHubWriter()
+		h.writers[rank] = hw
+		h.mu.Unlock()
+		h.wg.Add(2)
+		go func(conn net.Conn) {
+			defer h.wg.Done()
+			hw.drain(conn)
+		}(conn)
+		go func(conn net.Conn, src int) {
+			defer h.wg.Done()
+			h.route(conn, src)
+		}(conn, rank)
+	}
+}
+
+// route forwards frames from src to their destination writers. Frames to
+// a destination that has not joined yet are held until it does (the
+// barrier-free startup case).
+func (h *distHub) route(conn net.Conn, src int) {
+	for {
+		frame, peer, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if peer < 0 || peer >= h.size {
+			return
+		}
+		binary.LittleEndian.PutUint32(frame[0:], uint32(src))
+		// writerFor blocks until the destination joins (startup only).
+		h.writerFor(peer).push(frame)
+	}
+}
+
+func (h *distHub) stop() {
+	h.once.Do(func() {
+		h.ln.Close()
+		h.mu.Lock()
+		for _, hw := range h.writers {
+			if hw != nil {
+				hw.close()
+			}
+		}
+		h.mu.Unlock()
+	})
+}

@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// mailbox is an unbounded per-rank message queue with selective receive:
+// a receiver can wait for the first message matching a (source, tag)
+// pattern while leaving non-matching messages queued. Unbounded buffering
+// is what makes the edge-switch conversation protocol deadlock-free —
+// a sender never blocks, so circular waits cannot form on buffer space.
+//
+// Messages from a single sender are delivered in send order (FIFO per
+// source), an invariant the step-termination protocol relies on.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+	// size mirrors len(queue) so blocked receivers can busy-poll without
+	// taking the mutex (the standard MPI progress-engine trick: a short
+	// spin avoids a futex sleep/wake round trip when the peer responds
+	// within microseconds, which is the common case for the edge-switch
+	// conversation protocol).
+	size atomic.Int64
+}
+
+// recvSpin bounds the busy-poll before a blocking receive parks on the
+// condition variable.
+const recvSpin = 128
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// put appends a message and wakes any waiting receiver. Each rank is the
+// sole receiver of its mailbox, so Signal (not Broadcast) suffices.
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.size.Store(int64(len(mb.queue)))
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+// close wakes all receivers; subsequent blocking receives fail once the
+// queue has drained of matching messages.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func match(m Message, src, tag int) bool {
+	return (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+// takeLocked removes and returns the first message matching (src, tag).
+// Caller holds mb.mu.
+func (mb *mailbox) takeLocked(src, tag int) (Message, bool) {
+	for i, m := range mb.queue {
+		if match(m, src, tag) {
+			copy(mb.queue[i:], mb.queue[i+1:])
+			mb.queue[len(mb.queue)-1] = Message{}
+			mb.queue = mb.queue[:len(mb.queue)-1]
+			mb.size.Store(int64(len(mb.queue)))
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// get returns the first matching message. With block=true it waits until
+// one arrives or the mailbox closes; with block=false it returns
+// immediately. ok reports whether a message was returned; closed reports
+// that the mailbox is closed and no match can ever arrive.
+func (mb *mailbox) get(src, tag int, block bool) (m Message, ok, closed bool) {
+	mb.mu.Lock()
+	for spins := 0; ; {
+		if m, ok := mb.takeLocked(src, tag); ok {
+			mb.mu.Unlock()
+			return m, true, false
+		}
+		if mb.closed {
+			mb.mu.Unlock()
+			return Message{}, false, true
+		}
+		if !block {
+			mb.mu.Unlock()
+			return Message{}, false, false
+		}
+		if spins < recvSpin {
+			// Busy-poll: release the lock, yield, and re-check only
+			// when the size counter moves.
+			mb.mu.Unlock()
+			before := mb.size.Load()
+			for ; spins < recvSpin; spins++ {
+				runtime.Gosched()
+				if mb.size.Load() != before {
+					break
+				}
+			}
+			mb.mu.Lock()
+			continue
+		}
+		mb.cond.Wait()
+	}
+}
+
+// takeAll removes and returns every queued message matching (src, tag),
+// in arrival order, without blocking.
+func (mb *mailbox) takeAll(src, tag int) []Message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.queue) == 0 {
+		return nil
+	}
+	var out []Message
+	kept := mb.queue[:0]
+	for _, m := range mb.queue {
+		if match(m, src, tag) {
+			out = append(out, m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	// Zero the tail so released messages can be collected.
+	for i := len(kept); i < len(mb.queue); i++ {
+		mb.queue[i] = Message{}
+	}
+	mb.queue = kept
+	mb.size.Store(int64(len(mb.queue)))
+	return out
+}
+
+// pending reports the current queue length (for tests and stats).
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}

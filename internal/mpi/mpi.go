@@ -1,0 +1,234 @@
+// Package mpi is a from-scratch message-passing runtime providing the MPI
+// subset the parallel edge-switch algorithms require: tagged point-to-point
+// sends and (selective, optionally non-blocking) receives, plus the usual
+// collectives (barrier, broadcast, gather, allgather, scatter, reduce,
+// allreduce, alltoall).
+//
+// The paper's algorithms run on MPICH2 over InfiniBand; Go has no mature
+// MPI bindings, so this package replaces MPI with goroutine "ranks" that
+// hold private state and communicate only by message (the distributed-
+// memory discipline is preserved by construction — the graph partitions
+// never share data structures). Two transports are provided:
+//
+//   - mem: messages move between ranks through unbounded in-process
+//     mailboxes; this is the default and what benchmarks use.
+//   - tcp: every message is serialized into a length-prefixed binary frame
+//     and routed over real loopback TCP sockets through a hub, exercising
+//     the full wire path (serialization, kernel socket buffers, framing).
+//
+// Both transports guarantee FIFO delivery per (sender, receiver) pair,
+// which the algorithms' termination protocol depends on.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any rank in Recv/TryRecv.
+const AnySource = -1
+
+// AnyTag matches messages with any tag in Recv/TryRecv.
+const AnyTag = -1
+
+// collTagBase is the start of the tag space reserved for collectives.
+// Application tags must be in [0, collTagBase).
+const collTagBase = 1 << 30
+
+// Message is a received message.
+type Message struct {
+	Src  int    // sending rank
+	Tag  int    // application tag
+	Data []byte // payload; owned by the receiver
+}
+
+// Transport moves messages between ranks. Implementations must preserve
+// FIFO order per (src, dst) pair and must not block senders indefinitely.
+type Transport interface {
+	// send delivers msg from rank src to rank dst.
+	send(src, dst, tag int, data []byte) error
+	// start wires the transport to the destination mailboxes.
+	start(boxes []*mailbox) error
+	// stop tears the transport down.
+	stop() error
+}
+
+// World is a communicator universe of size ranks. Create one with
+// NewWorld, then call Run with the SPMD rank body.
+type World struct {
+	size      int
+	boxes     []*mailbox
+	transport Transport
+	started   bool
+	mu        sync.Mutex
+}
+
+// Option configures a World.
+type Option func(*World) error
+
+// WithTCP routes all messages over loopback TCP sockets instead of
+// in-process mailboxes.
+func WithTCP() Option {
+	return func(w *World) error {
+		w.transport = newTCPTransport(w.size)
+		return nil
+	}
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int, opts ...Option) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
+	}
+	w := &World{size: size}
+	for _, o := range opts {
+		if err := o(w); err != nil {
+			return nil, err
+		}
+	}
+	if w.transport == nil {
+		w.transport = &memTransport{}
+	}
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes body once per rank, each in its own goroutine, and waits
+// for all of them. It returns the first non-nil error (a rank panic is
+// recovered and reported as an error). Run may be called repeatedly; each
+// call is a fresh SPMD program over the same world.
+func (w *World) Run(body func(c *Comm) error) error {
+	w.mu.Lock()
+	if !w.started {
+		if err := w.transport.start(w.boxes); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+		w.started = true
+	}
+	w.mu.Unlock()
+
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for rank := 0; rank < w.size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+				}
+			}()
+			errs[rank] = body(&Comm{world: w, rank: rank})
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// Close releases transport resources and unblocks any receiver still
+// waiting (their Recv calls return an error).
+func (w *World) Close() error {
+	for _, b := range w.boxes {
+		b.close()
+	}
+	return w.transport.stop()
+}
+
+// Comm is one rank's endpoint into the world. A Comm must only be used by
+// the goroutine Run created it for.
+type Comm struct {
+	world   *World
+	rank    int
+	collSeq int // collective sequence number; advances identically on all ranks
+}
+
+// Rank reports this rank's id in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to rank dst with the given tag. The data slice is
+// copied; the caller may reuse it immediately. Sends never block on the
+// receiver (unbounded buffering).
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.world.size)
+	}
+	if tag < 0 || tag >= collTagBase {
+		return fmt.Errorf("mpi: application tag %d out of range [0,%d)", tag, collTagBase)
+	}
+	return c.send(dst, tag, data)
+}
+
+// SendOwned is Send without the defensive copy: the caller transfers
+// ownership of data and must not touch it afterwards. Hot paths that
+// encode a fresh buffer per message use this to halve their allocations.
+func (c *Comm) SendOwned(dst, tag int, data []byte) error {
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, c.world.size)
+	}
+	if tag < 0 || tag >= collTagBase {
+		return fmt.Errorf("mpi: application tag %d out of range [0,%d)", tag, collTagBase)
+	}
+	return c.world.transport.send(c.rank, dst, tag, data)
+}
+
+// send is the unchecked path used by collectives (reserved tags allowed).
+func (c *Comm) send(dst, tag int, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return c.world.transport.send(c.rank, dst, tag, cp)
+}
+
+// Recv blocks until a message matching (src, tag) arrives. Use AnySource
+// and/or AnyTag as wildcards. It fails if the world is closed.
+func (c *Comm) Recv(src, tag int) (Message, error) {
+	m, ok, closed := c.world.boxes[c.rank].get(src, tag, true)
+	if closed && !ok {
+		return Message{}, fmt.Errorf("mpi: rank %d: world closed while receiving", c.rank)
+	}
+	return m, nil
+}
+
+// TryRecv returns a matching message if one is already queued.
+func (c *Comm) TryRecv(src, tag int) (Message, bool) {
+	m, ok, _ := c.world.boxes[c.rank].get(src, tag, false)
+	return m, ok
+}
+
+// RecvAll drains every queued message matching (src, tag) in arrival
+// order without blocking. It returns nil when nothing matches.
+func (c *Comm) RecvAll(src, tag int) []Message {
+	return c.world.boxes[c.rank].takeAll(src, tag)
+}
+
+// Pending reports the number of queued messages (diagnostics only).
+func (c *Comm) Pending() int { return c.world.boxes[c.rank].pending() }
+
+// memTransport delivers messages directly into the destination mailbox.
+type memTransport struct{ boxes []*mailbox }
+
+func (t *memTransport) start(boxes []*mailbox) error {
+	t.boxes = boxes
+	return nil
+}
+
+func (t *memTransport) stop() error { return nil }
+
+func (t *memTransport) send(src, dst, tag int, data []byte) error {
+	t.boxes[dst].put(Message{Src: src, Tag: tag, Data: data})
+	return nil
+}

@@ -1,0 +1,260 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpTransport routes every message over loopback TCP through a hub. Each
+// rank holds one connection to the hub; a frame carries (peer, tag, len,
+// payload) where peer is the destination on the way in and the source on
+// the way out. Routing through a hub keeps the connection count at p
+// instead of p² while preserving per-(src,dst) FIFO order: the hub reads
+// each inbound connection with a single goroutine and forwards frames to
+// per-destination writer queues in arrival order.
+type tcpTransport struct {
+	size  int
+	boxes []*mailbox
+
+	ln    net.Listener
+	conns []net.Conn // rank-side connections, indexed by rank
+	wmu   []sync.Mutex
+	hubWr []*hubWriter
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	stopped  chan struct{}
+}
+
+// frame layout: peer int32 | tag int32 | len uint32 | payload.
+const frameHeader = 12
+
+func newTCPTransport(size int) *tcpTransport {
+	return &tcpTransport{
+		size:    size,
+		conns:   make([]net.Conn, size),
+		wmu:     make([]sync.Mutex, size),
+		hubWr:   make([]*hubWriter, size),
+		stopped: make(chan struct{}),
+	}
+}
+
+// hubWriter serializes hub-side writes to one rank connection. Frames are
+// queued so hub reader goroutines never block on a slow destination
+// socket, preserving liveness under arbitrary traffic patterns.
+type hubWriter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue [][]byte
+	done  bool
+}
+
+func newHubWriter() *hubWriter {
+	hw := &hubWriter{}
+	hw.cond = sync.NewCond(&hw.mu)
+	return hw
+}
+
+func (hw *hubWriter) push(frame []byte) {
+	hw.mu.Lock()
+	hw.queue = append(hw.queue, frame)
+	hw.mu.Unlock()
+	hw.cond.Signal()
+}
+
+func (hw *hubWriter) close() {
+	hw.mu.Lock()
+	hw.done = true
+	hw.mu.Unlock()
+	hw.cond.Signal()
+}
+
+// drain runs until close, writing queued frames to w.
+func (hw *hubWriter) drain(w io.Writer) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for {
+		hw.mu.Lock()
+		for len(hw.queue) == 0 && !hw.done {
+			hw.mu.Unlock()
+			bw.Flush() // opportunistic flush while idle
+			hw.mu.Lock()
+			if len(hw.queue) == 0 && !hw.done {
+				hw.cond.Wait()
+			}
+		}
+		if len(hw.queue) == 0 && hw.done {
+			hw.mu.Unlock()
+			bw.Flush()
+			return
+		}
+		batch := hw.queue
+		hw.queue = nil
+		hw.mu.Unlock()
+		for _, f := range batch {
+			if _, err := bw.Write(f); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (t *tcpTransport) start(boxes []*mailbox) error {
+	t.boxes = boxes
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("mpi: tcp listen: %w", err)
+	}
+	t.ln = ln
+
+	// Accept hub-side connections.
+	accepted := make(chan error, 1)
+	go func() {
+		for i := 0; i < t.size; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				accepted <- err
+				return
+			}
+			// Handshake: the client announces its rank.
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				accepted <- err
+				return
+			}
+			rank := int(int32(binary.LittleEndian.Uint32(hdr[:])))
+			if rank < 0 || rank >= t.size {
+				accepted <- fmt.Errorf("mpi: tcp handshake announced bad rank %d", rank)
+				return
+			}
+			hw := newHubWriter()
+			t.hubWr[rank] = hw
+			t.wg.Add(2)
+			go func(conn net.Conn, src int) {
+				defer t.wg.Done()
+				t.hubRead(conn, src)
+			}(conn, rank)
+			go func(conn net.Conn, hw *hubWriter) {
+				defer t.wg.Done()
+				hw.drain(conn)
+			}(conn, hw)
+		}
+		accepted <- nil
+	}()
+
+	// Dial rank-side connections.
+	addr := ln.Addr().String()
+	for rank := 0; rank < t.size; rank++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("mpi: tcp dial: %w", err)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			return fmt.Errorf("mpi: tcp handshake: %w", err)
+		}
+		t.conns[rank] = conn
+		// Rank-side reader: deposit inbound frames into the mailbox.
+		t.wg.Add(1)
+		go func(conn net.Conn, rank int) {
+			defer t.wg.Done()
+			t.rankRead(conn, rank)
+		}(conn, rank)
+	}
+	return <-accepted
+}
+
+// hubRead forwards frames arriving from rank src to their destinations.
+func (t *tcpTransport) hubRead(conn net.Conn, src int) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		frame, peer, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if peer < 0 || peer >= t.size {
+			return
+		}
+		// Rewrite the peer field to carry the source on the way out.
+		binary.LittleEndian.PutUint32(frame[0:], uint32(src))
+		hw := t.hubWr[peer]
+		if hw == nil {
+			return
+		}
+		hw.push(frame)
+	}
+}
+
+// rankRead deposits frames from the hub into this rank's mailbox.
+func (t *tcpTransport) rankRead(conn net.Conn, rank int) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		frame, src, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		tag := int(int32(binary.LittleEndian.Uint32(frame[4:])))
+		payload := make([]byte, len(frame)-frameHeader)
+		copy(payload, frame[frameHeader:])
+		t.boxes[rank].put(Message{Src: src, Tag: tag, Data: payload})
+	}
+}
+
+// readFrame reads one complete frame, returning it (header included) and
+// the peer field.
+func readFrame(r io.Reader) (frame []byte, peer int, err error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	if n > 1<<28 {
+		return nil, 0, fmt.Errorf("mpi: tcp frame too large: %d", n)
+	}
+	frame = make([]byte, frameHeader+int(n))
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[frameHeader:]); err != nil {
+		return nil, 0, err
+	}
+	return frame, int(int32(binary.LittleEndian.Uint32(hdr[0:]))), nil
+}
+
+func (t *tcpTransport) send(src, dst, tag int, data []byte) error {
+	frame := make([]byte, frameHeader+len(data))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(dst))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(frame[8:], uint32(len(data)))
+	copy(frame[frameHeader:], data)
+	t.wmu[src].Lock()
+	defer t.wmu[src].Unlock()
+	conn := t.conns[src]
+	if conn == nil {
+		return fmt.Errorf("mpi: tcp transport not started")
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
+func (t *tcpTransport) stop() error {
+	t.stopOnce.Do(func() {
+		close(t.stopped)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		for _, hw := range t.hubWr {
+			if hw != nil {
+				hw.close()
+			}
+		}
+		for _, c := range t.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package partition implements the graph-partitioning schemes of §4.3 and
+// §5: consecutive partitioning (CP) and the three hash-based schemes
+// (HP-D division, HP-M multiplication, HP-U universal). A partitioner
+// assigns every vertex — and with it the vertex's reduced adjacency list,
+// i.e. every edge (u,v) with u < v — to exactly one rank.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"edgeswitch/internal/graph"
+)
+
+// Partitioner maps vertices to ranks. Implementations must be cheap and
+// deterministic: Owner is called on every message-routing decision.
+type Partitioner interface {
+	// Owner returns the rank that owns vertex v.
+	Owner(v graph.Vertex) int
+	// Parts reports the number of partitions p.
+	Parts() int
+	// Name identifies the scheme in experiment output.
+	Name() string
+}
+
+// LocalVertices enumerates, in ascending label order, the vertices of an
+// n-vertex graph owned by rank. O(n) per call; engines call it once at
+// start-up.
+func LocalVertices(pt Partitioner, n, rank int) []graph.Vertex {
+	var out []graph.Vertex
+	for v := graph.Vertex(0); int(v) < n; v++ {
+		if pt.Owner(v) == rank {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CP is consecutive partitioning: each rank receives a contiguous label
+// range chosen so every partition holds roughly m/p edges (reduced-degree
+// prefix sums decide the boundaries, as in §4.3).
+type CP struct {
+	p      int
+	bounds []graph.Vertex // bounds[i] = first vertex of rank i; len p+1
+}
+
+// NewCP builds a consecutive partitioning of g into p edge-balanced
+// parts. The boundaries are computed from the reduced degrees of the
+// *initial* graph; they do not move as edges switch (matching the paper,
+// where the skew that develops over time is precisely the CP phenomenon
+// studied in §5.2).
+func NewCP(g *graph.Graph, p int) (*CP, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	n := g.N()
+	bounds := make([]graph.Vertex, p+1)
+	m := g.M()
+	// Greedy sweep: part k closes once it holds its fair share of the
+	// edges not yet assigned, ceil((m − assigned)/(p − k)). Recomputing
+	// the share from the remainder keeps later parts non-empty even when
+	// a few early vertices carry most of the degree mass.
+	v := 0
+	var assigned int64
+	for k := 0; k < p; k++ {
+		bounds[k] = graph.Vertex(v)
+		remParts := int64(p - k)
+		target := (m - assigned + remParts - 1) / remParts
+		var cnt int64
+		for v < n && (cnt < target || k == p-1) {
+			cnt += int64(g.ReducedDegree(graph.Vertex(v)))
+			v++
+		}
+		assigned += cnt
+	}
+	bounds[p] = graph.Vertex(n)
+	return &CP{p: p, bounds: bounds}, nil
+}
+
+// Owner binary-searches the boundary table.
+func (c *CP) Owner(v graph.Vertex) int {
+	lo, hi := 0, c.p-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.bounds[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Parts reports p.
+func (c *CP) Parts() int { return c.p }
+
+// Name reports "CP".
+func (c *CP) Name() string { return "CP" }
+
+// Range returns the half-open vertex range [lo, hi) of rank.
+func (c *CP) Range(rank int) (lo, hi graph.Vertex) {
+	return c.bounds[rank], c.bounds[rank+1]
+}
+
+// HPD is the division hash h(v) = v mod p (§5.1.1, eq. 8).
+type HPD struct{ p int }
+
+// NewHPD returns a division-hash partitioner over p ranks.
+func NewHPD(p int) (*HPD, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	return &HPD{p: p}, nil
+}
+
+// Owner returns v mod p.
+func (h *HPD) Owner(v graph.Vertex) int { return int(v) % h.p }
+
+// Parts reports p.
+func (h *HPD) Parts() int { return h.p }
+
+// Name reports "HP-D".
+func (h *HPD) Name() string { return "HP-D" }
+
+// HPM is the multiplication hash h(v) = floor(p · frac(v·a)) with
+// a = (√5−1)/2 (§5.1.2, eq. 9, Knuth's recommended constant).
+type HPM struct {
+	p int
+	a float64
+}
+
+// NewHPM returns a multiplication-hash partitioner over p ranks.
+func NewHPM(p int) (*HPM, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	return &HPM{p: p, a: (math.Sqrt(5) - 1) / 2}, nil
+}
+
+// Owner extracts the fractional part of v·a and scales by p.
+func (h *HPM) Owner(v graph.Vertex) int {
+	va := float64(v) * h.a
+	frac := va - math.Floor(va)
+	k := int(float64(h.p) * frac)
+	if k >= h.p { // guard the frac≈1 rounding edge
+		k = h.p - 1
+	}
+	return k
+}
+
+// Parts reports p.
+func (h *HPM) Parts() int { return h.p }
+
+// Name reports "HP-M".
+func (h *HPM) Name() string { return "HP-M" }
+
+// hpuPrime is a prime larger than any int32 vertex label, so every graph
+// this library can represent satisfies the "labels in [0, c-1]" premise
+// of universal hashing.
+const hpuPrime = 2305843009213693951 // 2^61 − 1, Mersenne prime
+
+// HPU is universal hashing h(v) = ((a·v + b) mod c) mod p with random
+// a ∈ [1, c−1], b ∈ [0, c−1] (§5.1.3, eq. 10). The random coefficients
+// make the partition unpredictable to an adversary who relabels the
+// input graph.
+type HPU struct {
+	p    int
+	a, b uint64
+}
+
+// NewHPU draws the hash coefficients from rnd. Ranks of a parallel run
+// must share the same coefficients; derive rnd from the common experiment
+// seed before splitting per-rank streams.
+func NewHPU(p int, rnd interface{ Int64n(int64) int64 }) (*HPU, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	return &HPU{
+		p: p,
+		a: uint64(rnd.Int64n(hpuPrime-1)) + 1,
+		b: uint64(rnd.Int64n(hpuPrime)),
+	}, nil
+}
+
+// NewHPUFixed builds an HPU with explicit coefficients (tests, and
+// reconstructing a partitioner on every rank from broadcast values).
+func NewHPUFixed(p int, a, b uint64) (*HPU, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
+	}
+	if a == 0 || a >= hpuPrime || b >= hpuPrime {
+		return nil, fmt.Errorf("partition: HPU coefficients out of range")
+	}
+	return &HPU{p: p, a: a, b: b}, nil
+}
+
+// Owner computes ((a·v + b) mod c) mod p using 128-bit intermediate math.
+func (h *HPU) Owner(v graph.Vertex) int {
+	// a < 2^61 and v < 2^31, so a*v fits in (61+31)=92 bits; reduce with
+	// the Mersenne identity x mod (2^61−1) = (x>>61) + (x&(2^61−1)),
+	// applied on the 128-bit product.
+	hi, lo := bits.Mul64(h.a, uint64(v))
+	x := mersenneReduce(hi, lo)
+	x += h.b
+	if x >= hpuPrime {
+		x -= hpuPrime
+	}
+	return int(x % uint64(h.p))
+}
+
+// Parts reports p.
+func (h *HPU) Parts() int { return h.p }
+
+// Name reports "HP-U".
+func (h *HPU) Name() string { return "HP-U" }
+
+// Coefficients exposes (a, b) so rank 0 can broadcast them.
+func (h *HPU) Coefficients() (a, b uint64) { return h.a, h.b }
+
+// mersenneReduce computes (hi·2^64 + lo) mod (2^61 − 1).
+func mersenneReduce(hi, lo uint64) uint64 {
+	const p = hpuPrime
+	// 2^64 ≡ 2^3 (mod 2^61−1), so hi·2^64 ≡ hi·8.
+	// Split lo into low 61 bits and high 3 bits.
+	x := (lo & p) + (lo >> 61) + hi*8
+	for x >= p {
+		x = (x & p) + (x >> 61)
+		if x >= p {
+			x -= p
+		}
+	}
+	return x
+}

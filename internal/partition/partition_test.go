@@ -1,0 +1,308 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// ringGraph builds a cycle on n vertices.
+func ringGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	r := rng.New(1)
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{U: graph.Vertex(i), V: graph.Vertex((i + 1) % n)}
+	}
+	g, err := graph.FromEdges(n, edges, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// allPartitioners builds one of each scheme for the given graph and p.
+func allPartitioners(t *testing.T, g *graph.Graph, p int) []Partitioner {
+	t.Helper()
+	cp, err := NewCP(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpd, err := NewHPD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpm, err := NewHPM(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpu, err := NewHPU(p, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Partitioner{cp, hpd, hpm, hpu}
+}
+
+// TestPartitionCoversAllVertices: every vertex has exactly one owner in
+// range, and LocalVertices tiles [0,n).
+func TestPartitionCoversAllVertices(t *testing.T) {
+	g := ringGraph(t, 101)
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		for _, pt := range allPartitioners(t, g, p) {
+			if pt.Parts() != p {
+				t.Fatalf("%s: Parts() = %d, want %d", pt.Name(), pt.Parts(), p)
+			}
+			seen := make([]bool, g.N())
+			total := 0
+			for rank := 0; rank < p; rank++ {
+				for _, v := range LocalVertices(pt, g.N(), rank) {
+					if seen[v] {
+						t.Fatalf("%s p=%d: vertex %d owned twice", pt.Name(), p, v)
+					}
+					if pt.Owner(v) != rank {
+						t.Fatalf("%s p=%d: LocalVertices/Owner disagree on %d", pt.Name(), p, v)
+					}
+					seen[v] = true
+					total++
+				}
+			}
+			if total != g.N() {
+				t.Fatalf("%s p=%d: %d vertices owned, want %d", pt.Name(), p, total, g.N())
+			}
+		}
+	}
+}
+
+func TestOwnerInRangeProperty(t *testing.T) {
+	g := ringGraph(t, 64)
+	pts := allPartitioners(t, g, 5)
+	f := func(raw uint16) bool {
+		v := graph.Vertex(raw % 64)
+		for _, pt := range pts {
+			o := pt.Owner(v)
+			if o < 0 || o >= 5 {
+				return false
+			}
+			// Determinism.
+			if pt.Owner(v) != o {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectBadP(t *testing.T) {
+	g := ringGraph(t, 10)
+	if _, err := NewCP(g, 0); err == nil {
+		t.Fatal("CP accepted p=0")
+	}
+	if _, err := NewHPD(-1); err == nil {
+		t.Fatal("HPD accepted p=-1")
+	}
+	if _, err := NewHPM(0); err == nil {
+		t.Fatal("HPM accepted p=0")
+	}
+	if _, err := NewHPU(0, rng.New(1)); err == nil {
+		t.Fatal("HPU accepted p=0")
+	}
+}
+
+func TestCPConsecutiveRanges(t *testing.T) {
+	g := ringGraph(t, 100)
+	cp, err := NewCP(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevHi := graph.Vertex(0)
+	for rank := 0; rank < 4; rank++ {
+		lo, hi := cp.Range(rank)
+		if lo != prevHi {
+			t.Fatalf("rank %d range [%d,%d) not contiguous with previous end %d", rank, lo, hi, prevHi)
+		}
+		for v := lo; v < hi; v++ {
+			if cp.Owner(v) != rank {
+				t.Fatalf("Owner(%d) = %d, want %d", v, cp.Owner(v), rank)
+			}
+		}
+		prevHi = hi
+	}
+	if prevHi != graph.Vertex(g.N()) {
+		t.Fatalf("ranges end at %d, want %d", prevHi, g.N())
+	}
+}
+
+// TestCPEdgeBalance: on a regular graph the partitions should own nearly
+// equal numbers of edges.
+func TestCPEdgeBalance(t *testing.T) {
+	g := ringGraph(t, 1000)
+	const p = 8
+	cp, err := NewCP(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, p)
+	for _, e := range g.Edges() {
+		counts[cp.Owner(e.U)]++
+	}
+	want := g.M() / p
+	for rank, c := range counts {
+		if c < want-want/4 || c > want+want/4 {
+			t.Fatalf("rank %d owns %d edges, want ~%d (counts %v)", rank, c, want, counts)
+		}
+	}
+}
+
+// TestCPEdgeBalanceSkewedDegrees: balance must hold even when degree mass
+// is concentrated at low labels.
+func TestCPEdgeBalanceSkewedDegrees(t *testing.T) {
+	r := rng.New(3)
+	const n = 500
+	var edges []graph.Edge
+	// Star-heavy: vertex 0 connects to everyone, plus a sparse tail.
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.Vertex(v)})
+	}
+	for v := 100; v < n-1; v += 3 {
+		edges = append(edges, graph.Edge{U: graph.Vertex(v), V: graph.Vertex(v + 1)})
+	}
+	g, err := graph.FromEdges(n, edges, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 4
+	cp, err := NewCP(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, p)
+	for _, e := range g.Edges() {
+		counts[cp.Owner(e.U)]++
+	}
+	// Vertex 0 alone carries n-1 reduced edges, so rank 0 is forced to
+	// hold at least that; the point is the remaining ranks share the rest
+	// rather than rank 0 hoarding everything.
+	for rank := 1; rank < p-1; rank++ {
+		if counts[rank] == 0 {
+			t.Fatalf("rank %d owns no edges: %v", rank, counts)
+		}
+	}
+}
+
+func TestHPDOwner(t *testing.T) {
+	hpd, _ := NewHPD(4)
+	for v := graph.Vertex(0); v < 100; v++ {
+		if hpd.Owner(v) != int(v)%4 {
+			t.Fatalf("HPD.Owner(%d) = %d", v, hpd.Owner(v))
+		}
+	}
+}
+
+// TestHPVertexBalance: hash schemes should spread vertices near-evenly.
+func TestHPVertexBalance(t *testing.T) {
+	g := ringGraph(t, 10000)
+	const p = 8
+	for _, pt := range allPartitioners(t, g, p)[1:] { // skip CP
+		counts := make([]int, p)
+		for v := graph.Vertex(0); int(v) < g.N(); v++ {
+			counts[pt.Owner(v)]++
+		}
+		want := g.N() / p
+		for rank, c := range counts {
+			if c < want*8/10 || c > want*12/10 {
+				t.Fatalf("%s: rank %d has %d vertices, want ~%d", pt.Name(), rank, c, want)
+			}
+		}
+	}
+}
+
+func TestHPUFixedRoundTrip(t *testing.T) {
+	hpu, err := NewHPU(8, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := hpu.Coefficients()
+	clone, err := NewHPUFixed(8, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.Vertex(0); v < 5000; v++ {
+		if hpu.Owner(v) != clone.Owner(v) {
+			t.Fatalf("reconstructed HPU disagrees at %d", v)
+		}
+	}
+}
+
+func TestHPUFixedValidation(t *testing.T) {
+	if _, err := NewHPUFixed(4, 0, 0); err == nil {
+		t.Fatal("a=0 accepted")
+	}
+	if _, err := NewHPUFixed(4, hpuPrime, 0); err == nil {
+		t.Fatal("a=c accepted")
+	}
+	if _, err := NewHPUFixed(4, 1, hpuPrime); err == nil {
+		t.Fatal("b=c accepted")
+	}
+}
+
+// TestHPUDifferentSeedsDifferentPartitions: universal hashing must vary
+// with the coefficients (this is its entire point against an adversary).
+func TestHPUDifferentSeedsDifferentPartitions(t *testing.T) {
+	h1, _ := NewHPU(16, rng.New(1))
+	h2, _ := NewHPU(16, rng.New(2))
+	diff := 0
+	for v := graph.Vertex(0); v < 1000; v++ {
+		if h1.Owner(v) != h2.Owner(v) {
+			diff++
+		}
+	}
+	if diff < 500 {
+		t.Fatalf("two random universal hashes agree on %d/1000 vertices", 1000-diff)
+	}
+}
+
+func TestMersenneReduce(t *testing.T) {
+	cases := []struct {
+		hi, lo, want uint64
+	}{
+		{0, 0, 0},
+		{0, 5, 5},
+		{0, hpuPrime, 0},
+		{0, hpuPrime + 3, 3},
+		{1, 0, 8},            // 2^64 mod (2^61-1) = 8
+		{1, hpuPrime - 8, 0}, // 2^64 + p - 8 ≡ 0
+	}
+	for _, c := range cases {
+		if got := mersenneReduce(c.hi, c.lo); got != c.want {
+			t.Fatalf("mersenneReduce(%d,%d) = %d, want %d", c.hi, c.lo, got, c.want)
+		}
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r := rng.New(1)
+	edges := make([]graph.Edge, 0, 1<<16)
+	for i := 0; i < 1<<16; i++ {
+		edges = append(edges, graph.Edge{U: graph.Vertex(i), V: graph.Vertex(i + 1)})
+	}
+	g, err := graph.FromEdges(1<<16+1, edges, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, _ := NewCP(g, 64)
+	hpd, _ := NewHPD(64)
+	hpm, _ := NewHPM(64)
+	hpu, _ := NewHPU(64, rng.New(2))
+	for _, pt := range []Partitioner{cp, hpd, hpm, hpu} {
+		b.Run(pt.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt.Owner(graph.Vertex(i & (1<<16 - 1)))
+			}
+		})
+	}
+}

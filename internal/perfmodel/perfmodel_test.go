@@ -1,0 +1,190 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func wl() Workload {
+	// A Miami-class full randomization: m ≈ 50M, t ≈ m·ln m / 2.
+	w := DefaultWorkload(470_000_000, 100)
+	return w
+}
+
+func TestPredictValidation(t *testing.T) {
+	if _, err := Predict(InfiniBandCluster, wl(), 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	bad := wl()
+	bad.SkewFactor = 0.5
+	if _, err := Predict(InfiniBandCluster, bad, 4); err == nil {
+		t.Fatal("skew < 1 accepted")
+	}
+	bad = wl()
+	bad.Steps = 0
+	if _, err := Predict(InfiniBandCluster, bad, 4); err == nil {
+		t.Fatal("steps=0 accepted")
+	}
+}
+
+func TestPredictP1NearSequential(t *testing.T) {
+	pr, err := Predict(InfiniBandCluster, wl(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One rank has no communication; speedup is bounded by the rank
+	// overhead but must be within a small constant of 1.
+	if pr.Speedup < 0.3 || pr.Speedup > 1.1 {
+		t.Fatalf("p=1 speedup %f", pr.Speedup)
+	}
+	if pr.CommFrac > 0.05 {
+		t.Fatalf("p=1 comm fraction %f", pr.CommFrac)
+	}
+}
+
+func TestPredictSpeedupGrowsThenSaturates(t *testing.T) {
+	w := wl()
+	var prev float64
+	grew := false
+	for _, p := range []int{1, 4, 16, 64, 256, 1024} {
+		pr, err := Predict(InfiniBandCluster, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Speedup > prev {
+			grew = true
+		}
+		prev = pr.Speedup
+	}
+	if !grew {
+		t.Fatal("speedup never grew with p")
+	}
+	// Efficiency must fall with p (communication dominance).
+	p64, _ := Predict(InfiniBandCluster, w, 64)
+	p1024, _ := Predict(InfiniBandCluster, w, 1024)
+	if p1024.Speedup/1024 >= p64.Speedup/64 {
+		t.Fatalf("efficiency did not fall: %f/64 vs %f/1024", p64.Speedup, p1024.Speedup)
+	}
+	if p1024.CommFrac <= p64.CommFrac {
+		t.Fatalf("comm fraction did not grow with p")
+	}
+}
+
+// TestPredictMatchesPaperMagnitude: the paper reports speedup ≈85–110 in
+// the 640–1024 processor range for ~500M-edge graphs. The model, fed the
+// measured per-op constants, must land in the same order of magnitude —
+// that is the reproduction target (factor-of-two band).
+func TestPredictMatchesPaperMagnitude(t *testing.T) {
+	bestP, best, err := PeakSpeedup(InfiniBandCluster, wl(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 50 || best > 250 {
+		t.Fatalf("peak speedup %f at p=%d, paper class is ~85-110", best, bestP)
+	}
+	if bestP < 128 {
+		t.Fatalf("peak at suspiciously low p=%d", bestP)
+	}
+}
+
+func TestPredictSkewHurts(t *testing.T) {
+	balanced := wl()
+	skewed := wl()
+	skewed.SkewFactor = 3 // CP on Miami class
+	pb, err := Predict(InfiniBandCluster, balanced, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Predict(InfiniBandCluster, skewed, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Speedup >= pb.Speedup {
+		t.Fatalf("skew did not reduce speedup: %f vs %f", ps.Speedup, pb.Speedup)
+	}
+	// Roughly proportional: 3× skew costs at most ~3.5× speedup.
+	if pb.Speedup/ps.Speedup > 3.5 {
+		t.Fatalf("skew penalty implausibly large: %f vs %f", pb.Speedup, ps.Speedup)
+	}
+}
+
+func TestPredictCoreCapHurts(t *testing.T) {
+	free := wl()
+	capped := wl()
+	capped.PhysicalCores = 2
+	pf, err := Predict(LoopbackGoroutines, free, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Predict(LoopbackGoroutines, capped, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Speedup >= pf.Speedup {
+		t.Fatalf("core cap did not reduce speedup: %f vs %f", pc.Speedup, pf.Speedup)
+	}
+	// The 2-core cap must keep 8-rank speedup in the ~no-speedup regime
+	// this repository measures.
+	if pc.Speedup > 2.5 {
+		t.Fatalf("capped speedup %f implausible for 2 cores", pc.Speedup)
+	}
+}
+
+func TestPredictMoreStepsCostMore(t *testing.T) {
+	few := wl()
+	few.Steps = 1
+	many := wl()
+	many.Steps = 10000
+	pf, err := Predict(InfiniBandCluster, few, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := Predict(InfiniBandCluster, many, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Time <= pf.Time {
+		t.Fatalf("step overhead missing: %v vs %v", pm.Time, pf.Time)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	ps := []int{1, 2, 4, 8, 16}
+	out, err := Sweep(InfiniBandCluster, wl(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(ps) {
+		t.Fatalf("sweep size %d", len(out))
+	}
+	for i, pr := range out {
+		if pr.P != ps[i] || pr.Time <= 0 {
+			t.Fatalf("bad prediction %+v", pr)
+		}
+	}
+	// The latency-bound regime makes p=2 *slower* than p=1 (half the
+	// operations suddenly pay full message round trips) — the same
+	// behaviour this repository measures on real hardware. Past that,
+	// runtime must fall.
+	if out[1].Time <= out[0].Time {
+		t.Fatalf("model lost the p=2 latency penalty: %v", out[:2])
+	}
+	for i := 2; i < len(out); i++ {
+		if out[i].Time >= out[i-1].Time {
+			t.Fatalf("runtime not decreasing from p=4 on: %v", out)
+		}
+	}
+	if out[len(out)-1].Time >= out[0].Time {
+		t.Fatalf("p=16 not faster than p=1: %v", out)
+	}
+}
+
+func TestPredictTimeSane(t *testing.T) {
+	pr, err := Predict(InfiniBandCluster, wl(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Time < time.Second || pr.Time > time.Hour {
+		t.Fatalf("predicted time %v out of plausible range", pr.Time)
+	}
+}

@@ -1,0 +1,436 @@
+package randvar
+
+import (
+	"math"
+	"testing"
+
+	"edgeswitch/internal/mpi"
+	"edgeswitch/internal/rng"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := rng.New(1)
+	if Binomial(r, 0, 0.5) != 0 {
+		t.Fatal("B(0,q) != 0")
+	}
+	if Binomial(r, 100, 0) != 0 {
+		t.Fatal("B(n,0) != 0")
+	}
+	if Binomial(r, 100, 1) != 100 {
+		t.Fatal("B(n,1) != n")
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	r := rng.New(1)
+	for _, tc := range []struct {
+		n int64
+		q float64
+	}{{-1, 0.5}, {10, -0.1}, {10, 1.1}, {10, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Binomial(%d,%v) did not panic", tc.n, tc.q)
+				}
+			}()
+			Binomial(r, tc.n, tc.q)
+		}()
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 2000; i++ {
+		x := Binomial(r, 50, 0.3)
+		if x < 0 || x > 50 {
+			t.Fatalf("B(50,0.3) = %d out of range", x)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := rng.New(3)
+	cases := []struct {
+		n int64
+		q float64
+	}{{100, 0.5}, {1000, 0.1}, {50, 0.9}, {10, 0.01}, {200, 0.75}}
+	for _, tc := range cases {
+		const draws = 20000
+		var sum, sumSq float64
+		for i := 0; i < draws; i++ {
+			x := float64(Binomial(r, tc.n, tc.q))
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		wantMean := float64(tc.n) * tc.q
+		wantVar := float64(tc.n) * tc.q * (1 - tc.q)
+		if math.Abs(mean-wantMean) > 4*math.Sqrt(wantVar/draws)+1e-9 {
+			t.Errorf("B(%d,%v): mean %f want %f", tc.n, tc.q, mean, wantMean)
+		}
+		if wantVar > 0 && math.Abs(variance-wantVar)/wantVar > 0.1 {
+			t.Errorf("B(%d,%v): variance %f want %f", tc.n, tc.q, variance, wantVar)
+		}
+	}
+}
+
+// TestBinomialExactDistribution chi-square tests B(8, 0.4) against exact
+// probabilities.
+func TestBinomialExactDistribution(t *testing.T) {
+	r := rng.New(4)
+	const n, q, draws = 8, 0.4, 200000
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[Binomial(r, n, q)]++
+	}
+	chi2 := 0.0
+	for k := 0; k <= n; k++ {
+		pk := math.Exp(lchoose(n, k) + float64(k)*math.Log(q) + float64(n-k)*math.Log(1-q))
+		exp := pk * draws
+		d := float64(counts[k]) - exp
+		chi2 += d * d / exp
+	}
+	// 8 dof, 99.9% critical value ~26.12.
+	if chi2 > 26.12 {
+		t.Fatalf("binomial chi2 = %f, counts = %v", chi2, counts)
+	}
+}
+
+func lchoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// TestBinomialLargeNSplitting exercises the underflow-splitting path:
+// without eq. 15 splitting, (1-q)^n underflows to 0 for these inputs and
+// BINV would return garbage (always n or hang); with splitting the mean
+// must come out right.
+func TestBinomialLargeNSplitting(t *testing.T) {
+	r := rng.New(5)
+	const n = int64(5_000_000)
+	const q = 0.001
+	if math.Pow(1-q, float64(n)) != 0 {
+		t.Fatal("test premise wrong: (1-q)^n did not underflow")
+	}
+	var sum float64
+	const draws = 30
+	for i := 0; i < draws; i++ {
+		sum += float64(Binomial(r, n, q))
+	}
+	mean := sum / draws
+	want := float64(n) * q
+	sd := math.Sqrt(float64(n) * q * (1 - q) / draws)
+	if math.Abs(mean-want) > 6*sd {
+		t.Fatalf("large-n binomial mean %f, want %f ± %f", mean, want, 6*sd)
+	}
+}
+
+// TestBinomialAdditivity checks eq. 12: summing B(n1,q) and B(n2,q) draws
+// matches B(n1+n2, q) in mean and variance.
+func TestBinomialAdditivity(t *testing.T) {
+	r := rng.New(6)
+	const n1, n2, q, draws = 300, 700, 0.2, 20000
+	var sumSplit, sumJoint, sqSplit, sqJoint float64
+	for i := 0; i < draws; i++ {
+		s := float64(Binomial(r, n1, q) + Binomial(r, n2, q))
+		j := float64(Binomial(r, n1+n2, q))
+		sumSplit += s
+		sumJoint += j
+		sqSplit += s * s
+		sqJoint += j * j
+	}
+	meanS, meanJ := sumSplit/draws, sumJoint/draws
+	varS := sqSplit/draws - meanS*meanS
+	varJ := sqJoint/draws - meanJ*meanJ
+	if math.Abs(meanS-meanJ) > 4*math.Sqrt(2*160.0/draws) {
+		t.Fatalf("additivity means differ: %f vs %f", meanS, meanJ)
+	}
+	if math.Abs(varS-varJ)/varJ > 0.15 {
+		t.Fatalf("additivity variances differ: %f vs %f", varS, varJ)
+	}
+}
+
+func TestMultinomialValidation(t *testing.T) {
+	r := rng.New(7)
+	bad := [][]float64{
+		{},
+		{0.5, 0.4},       // sums to 0.9
+		{1.5, -0.5},      // negative
+		{math.NaN(), 1},  // NaN
+		{0.5, 0.5, 0.25}, // sums to 1.25
+	}
+	for _, q := range bad {
+		if _, err := Multinomial(r, 10, q); err == nil {
+			t.Fatalf("bad probs %v accepted", q)
+		}
+	}
+}
+
+func TestMultinomialSumsToN(t *testing.T) {
+	r := rng.New(8)
+	q := []float64{0.1, 0.2, 0.3, 0.4}
+	for _, n := range []int64{0, 1, 17, 1000, 123456} {
+		x, err := Multinomial(r, n, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s int64
+		for _, v := range x {
+			if v < 0 {
+				t.Fatalf("negative count %v", x)
+			}
+			s += v
+		}
+		if s != n {
+			t.Fatalf("n=%d: counts sum to %d: %v", n, s, x)
+		}
+	}
+}
+
+func TestMultinomialZeroProbabilityBucket(t *testing.T) {
+	r := rng.New(9)
+	q := []float64{0.5, 0, 0.5}
+	for i := 0; i < 200; i++ {
+		x, err := Multinomial(r, 100, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x[1] != 0 {
+			t.Fatalf("zero-probability bucket got %d trials", x[1])
+		}
+		if x[0]+x[2] != 100 {
+			t.Fatalf("counts %v", x)
+		}
+	}
+}
+
+func TestMultinomialMarginalMeans(t *testing.T) {
+	r := rng.New(10)
+	q := []float64{0.05, 0.15, 0.35, 0.45}
+	const n, draws = 1000, 5000
+	sums := make([]float64, len(q))
+	for i := 0; i < draws; i++ {
+		x, err := Multinomial(r, n, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range x {
+			sums[j] += float64(v)
+		}
+	}
+	for j := range q {
+		mean := sums[j] / draws
+		want := float64(n) * q[j]
+		sd := math.Sqrt(float64(n) * q[j] * (1 - q[j]) / draws)
+		if math.Abs(mean-want) > 5*sd {
+			t.Fatalf("bucket %d mean %f, want %f", j, mean, want)
+		}
+	}
+}
+
+func TestSplitTrials(t *testing.T) {
+	parts := SplitTrials(10, 4)
+	want := []int64{3, 3, 2, 2}
+	var sum int64
+	for i := range want {
+		if parts[i] != want[i] {
+			t.Fatalf("SplitTrials(10,4) = %v", parts)
+		}
+		sum += parts[i]
+	}
+	if sum != 10 {
+		t.Fatal("parts do not sum")
+	}
+	parts = SplitTrials(0, 3)
+	for _, p := range parts {
+		if p != 0 {
+			t.Fatalf("SplitTrials(0,3) = %v", parts)
+		}
+	}
+}
+
+func TestParallelMultinomialSumAndShape(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5} {
+		for _, l := range []int{1, 3, 8, 17} {
+			w, err := mpi.NewWorld(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := make([]float64, l)
+			for i := range q {
+				q[i] = 1 / float64(l)
+			}
+			const n = int64(100000)
+			results := make([][]int64, p)
+			err = w.Run(func(c *mpi.Comm) error {
+				r := rng.Split(42, c.Rank())
+				owned, err := ParallelMultinomial(c, r, n, q)
+				if err != nil {
+					return err
+				}
+				results[c.Rank()] = owned
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			// Reassemble and verify sum.
+			full := make([]int64, l)
+			for rank := 0; rank < p; rank++ {
+				for k, v := range results[rank] {
+					full[rank+k*p] = v
+				}
+			}
+			var sum int64
+			for _, v := range full {
+				if v < 0 {
+					t.Fatalf("p=%d l=%d: negative count %v", p, l, full)
+				}
+				sum += v
+			}
+			if sum != n {
+				t.Fatalf("p=%d l=%d: sum %d != %d (%v)", p, l, sum, n, full)
+			}
+		}
+	}
+}
+
+func TestParallelMultinomialGathered(t *testing.T) {
+	const p = 4
+	w, err := mpi.NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	q := []float64{0.1, 0.2, 0.3, 0.4}
+	const n = int64(50000)
+	results := make([][]int64, p)
+	err = w.Run(func(c *mpi.Comm) error {
+		r := rng.Split(7, c.Rank())
+		full, err := ParallelMultinomialGathered(c, r, n, q)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = full
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rank must see the identical full vector summing to n.
+	for rank := 1; rank < p; rank++ {
+		for j := range q {
+			if results[rank][j] != results[0][j] {
+				t.Fatalf("rank %d sees %v, rank 0 sees %v", rank, results[rank], results[0])
+			}
+		}
+	}
+	var sum int64
+	for _, v := range results[0] {
+		sum += v
+	}
+	if sum != n {
+		t.Fatalf("gathered sum %d != %d", sum, n)
+	}
+}
+
+// TestParallelMultinomialMarginals verifies the parallel generator has the
+// right marginal means (property from eq. 13: sums of independent
+// multinomials are multinomial).
+func TestParallelMultinomialMarginals(t *testing.T) {
+	const p = 4
+	q := []float64{0.25, 0.25, 0.25, 0.25}
+	const n, reps = int64(2000), 300
+	sums := make([]float64, len(q))
+	w, err := mpi.NewWorld(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for rep := 0; rep < reps; rep++ {
+		results := make([][]int64, p)
+		err := w.Run(func(c *mpi.Comm) error {
+			r := rng.Split(uint64(1000+rep), c.Rank())
+			full, err := ParallelMultinomialGathered(c, r, n, q)
+			if err != nil {
+				return err
+			}
+			results[c.Rank()] = full
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range results[0] {
+			sums[j] += float64(v)
+		}
+	}
+	for j := range q {
+		mean := sums[j] / reps
+		want := float64(n) * q[j]
+		sd := math.Sqrt(float64(n) * q[j] * (1 - q[j]) / reps)
+		if math.Abs(mean-want) > 5*sd {
+			t.Fatalf("bucket %d: mean %f, want %f ± %f", j, mean, want, 5*sd)
+		}
+	}
+}
+
+func TestParallelMultinomialDeterministicPerSeed(t *testing.T) {
+	const p = 3
+	q := []float64{0.3, 0.3, 0.4}
+	run := func() []int64 {
+		w, err := mpi.NewWorld(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		var out []int64
+		err = w.Run(func(c *mpi.Comm) error {
+			r := rng.Split(99, c.Rank())
+			full, err := ParallelMultinomialGathered(c, r, 10000, q)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out = full
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced %v and %v", a, b)
+		}
+	}
+}
+
+func BenchmarkBinomial(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		Binomial(r, 1000000, 0.05)
+	}
+}
+
+func BenchmarkMultinomial20(b *testing.B) {
+	r := rng.New(2)
+	q := make([]float64, 20)
+	for i := range q {
+		q[i] = 0.05
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multinomial(r, 1000000, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

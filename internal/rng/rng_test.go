@@ -1,0 +1,238 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := Split(7, 0)
+	b := Split(7, 1)
+	c := Split(7, 0)
+	for i := 0; i < 100; i++ {
+		av, bv, cv := a.Uint64(), b.Uint64(), c.Uint64()
+		if av != cv {
+			t.Fatalf("Split not deterministic at draw %d", i)
+		}
+		if av == bv {
+			t.Fatalf("Split streams 0 and 1 collided at draw %d", i)
+		}
+	}
+}
+
+func TestInt64nRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int64{1, 2, 3, 7, 16, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			v := r.Int64n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestInt64nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	New(1).Int64n(0)
+}
+
+func TestInt64nUniformity(t *testing.T) {
+	// Chi-square test over 10 buckets.
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Int64n(n)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9% critical value ~27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square %f too large; counts=%v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %f far from 0.5", mean)
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100000; i++ {
+		if r.Float64Open() == 0 {
+			t.Fatal("Float64Open returned 0")
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(17)
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.9} {
+		sum := 0.0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			v := r.Geometric(q)
+			if v < 1 {
+				t.Fatalf("Geometric(%f) = %d < 1", q, v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / n
+		want := 1 / q
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Fatalf("Geometric(%f) mean %f, want ~%f", q, mean, want)
+		}
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := New(19)
+	if v := r.Geometric(1); v != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", v)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %f too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %f too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(29)
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r.Seed(seed)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleSwapCount(t *testing.T) {
+	r := New(31)
+	calls := 0
+	r.Shuffle(10, func(i, j int) { calls++ })
+	if calls != 9 {
+		t.Fatalf("Shuffle(10) performed %d swaps, want 9", calls)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(37)
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < n/2-1000 || trues > n/2+1000 {
+		t.Fatalf("Bool heavily biased: %d/%d true", trues, n)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(41)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Exp()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean %f, want ~1", mean)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkInt64n(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Int64n(1000003)
+	}
+	_ = sink
+}

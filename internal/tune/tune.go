@@ -1,0 +1,153 @@
+// Package tune operationalizes the paper's §4.7 methodology for
+// determining a suitable step size: probe increasing step sizes with the
+// real engines and keep the largest one whose resultant-graph error rate
+// against the sequential process stays at the sequential noise floor.
+package tune
+
+import (
+	"fmt"
+
+	"edgeswitch/internal/core"
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/metrics"
+	"edgeswitch/internal/rng"
+)
+
+// Options configures StepSize.
+type Options struct {
+	// Ranks is the processor count of the production run being tuned.
+	Ranks int
+	// Scheme is the partitioning scheme (the HP schemes rarely need
+	// steps at all — Table 3 — so tuning matters mostly for CP).
+	Scheme core.Scheme
+	// Seed drives the probe runs.
+	Seed uint64
+	// Blocks is the error-rate partition count r (default 20).
+	Blocks int
+	// Reps averages each probe over this many runs (default 3).
+	Reps int
+	// Tolerance accepts a step size whose parallel-vs-sequential error
+	// rate is within (1+Tolerance)× the sequential-vs-sequential
+	// baseline (default 0.15, mirroring the paper's "roughly same as"
+	// criterion in §4.7).
+	Tolerance float64
+	// Candidates lists step sizes to probe in increasing order; nil
+	// derives {t/1000, t/300, t/100, t/30, t/10, t/3, t}.
+	Candidates []int64
+}
+
+// Result reports the tuning outcome.
+type Result struct {
+	// StepSize is the largest candidate whose error rate stayed within
+	// tolerance of the baseline (the paper's "suitable step-size":
+	// maximal speedup at minimal error, §4.7).
+	StepSize int64
+	// BaselineER is the sequential-vs-sequential error rate.
+	BaselineER float64
+	// CandidateER maps each probed step size to its mean
+	// parallel-vs-sequential error rate.
+	CandidateER map[int64]float64
+}
+
+// StepSize reproduces the paper's §4.7 procedure for choosing the step
+// size s: probe increasing candidates and keep the largest one whose
+// resultant-graph error rate against the sequential process stays at the
+// sequential noise floor. Larger s means fewer synchronization rounds
+// (more speed); too large lets the per-partition selection probabilities
+// go stale (more error) — Figs. 8–11.
+//
+// The probes run the real engines on g, so tune on a representative
+// subsample if g is huge; the suitable step size transfers as a fraction
+// of t for a fixed graph family.
+func StepSize(g *graph.Graph, t int64, opt Options) (*Result, error) {
+	if opt.Ranks < 1 {
+		return nil, fmt.Errorf("tune: Ranks must be >= 1")
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("tune: need a positive operation count")
+	}
+	if opt.Blocks <= 0 {
+		opt.Blocks = 20
+	}
+	if opt.Reps <= 0 {
+		opt.Reps = 3
+	}
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = 0.15
+	}
+	candidates := opt.Candidates
+	if candidates == nil {
+		for _, f := range []int64{1000, 300, 100, 30, 10, 3, 1} {
+			s := t / f
+			if s < 1 {
+				s = 1
+			}
+			if len(candidates) == 0 || candidates[len(candidates)-1] != s {
+				candidates = append(candidates, s)
+			}
+		}
+	}
+
+	seqRun := func(seed uint64) (*graph.Graph, error) {
+		r := rng.Split(seed, 77)
+		work := g.Clone(r)
+		if _, err := core.Sequential(work, t, r); err != nil {
+			return nil, err
+		}
+		return work, nil
+	}
+
+	// Baseline: ER between independent sequential runs.
+	var baseline float64
+	for rep := 0; rep < opt.Reps; rep++ {
+		a, err := seqRun(opt.Seed + uint64(rep)*13)
+		if err != nil {
+			return nil, err
+		}
+		b, err := seqRun(opt.Seed + uint64(rep)*13 + 5)
+		if err != nil {
+			return nil, err
+		}
+		er, err := metrics.ErrorRate(a, b, opt.Blocks)
+		if err != nil {
+			return nil, err
+		}
+		baseline += er
+	}
+	baseline /= float64(opt.Reps)
+
+	res := &Result{
+		StepSize:    candidates[0],
+		BaselineER:  baseline,
+		CandidateER: map[int64]float64{},
+	}
+	for _, s := range candidates {
+		var er float64
+		for rep := 0; rep < opt.Reps; rep++ {
+			seq, err := seqRun(opt.Seed + uint64(rep)*29)
+			if err != nil {
+				return nil, err
+			}
+			pres, err := core.Parallel(g, t, core.Config{
+				Ranks:    opt.Ranks,
+				Scheme:   opt.Scheme,
+				StepSize: s,
+				Seed:     opt.Seed + uint64(rep)*31,
+			})
+			if err != nil {
+				return nil, err
+			}
+			e, err := metrics.ErrorRate(seq, pres.Graph, opt.Blocks)
+			if err != nil {
+				return nil, err
+			}
+			er += e
+		}
+		er /= float64(opt.Reps)
+		res.CandidateER[s] = er
+		if er <= baseline*(1+opt.Tolerance) {
+			res.StepSize = s
+		}
+	}
+	return res, nil
+}

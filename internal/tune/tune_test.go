@@ -1,0 +1,100 @@
+package tune
+
+import (
+	"testing"
+
+	"edgeswitch/internal/core"
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/rng"
+)
+
+func TestStepSizeValidation(t *testing.T) {
+	g, err := gen.ErdosRenyi(rng.New(1), 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StepSize(g, 100, Options{Ranks: 0}); err == nil {
+		t.Fatal("Ranks=0 accepted")
+	}
+	if _, err := StepSize(g, 0, Options{Ranks: 2}); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+}
+
+func TestStepSizeReturnsCandidate(t *testing.T) {
+	g, err := gen.ErdosRenyi(rng.New(2), 600, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tOps = 3000
+	res, err := StepSize(g, tOps, Options{
+		Ranks:      4,
+		Scheme:     core.SchemeHPU,
+		Seed:       3,
+		Reps:       2,
+		Candidates: []int64{tOps / 10, tOps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepSize != tOps/10 && res.StepSize != tOps {
+		t.Fatalf("step size %d not among candidates", res.StepSize)
+	}
+	if res.BaselineER <= 0 {
+		t.Fatalf("baseline ER %f", res.BaselineER)
+	}
+	if len(res.CandidateER) != 2 {
+		t.Fatalf("candidate ERs %v", res.CandidateER)
+	}
+	for s, er := range res.CandidateER {
+		if er <= 0 || er > 100 {
+			t.Fatalf("candidate %d ER %f out of range", s, er)
+		}
+	}
+}
+
+// TestStepSizeHPAcceptsOneStep: on a label-structure-free random graph
+// with an HP scheme, even a single step stays at the baseline (Table 3),
+// so tuning must select the largest candidate.
+func TestStepSizeHPAcceptsOneStep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple engine runs")
+	}
+	g, err := gen.ErdosRenyi(rng.New(4), 1500, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOps := int64(6000)
+	res, err := StepSize(g, tOps, Options{
+		Ranks:      4,
+		Scheme:     core.SchemeHPU,
+		Seed:       5,
+		Reps:       3,
+		Tolerance:  0.25,
+		Candidates: []int64{tOps / 10, tOps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepSize != tOps {
+		t.Fatalf("HP-U on ER graph should accept one step; got s=%d (baseline %.2f, ERs %v)",
+			res.StepSize, res.BaselineER, res.CandidateER)
+	}
+}
+
+func TestStepSizeDefaultCandidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probes all default candidates")
+	}
+	g, err := gen.ErdosRenyi(rng.New(6), 400, 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := StepSize(g, 800, Options{Ranks: 2, Scheme: core.SchemeCP, Seed: 7, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CandidateER) < 4 {
+		t.Fatalf("default candidate sweep too small: %v", res.CandidateER)
+	}
+}
