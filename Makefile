@@ -1,0 +1,33 @@
+# The CI gate. `make check` is what .github/workflows/ci.yml runs.
+
+GO ?= go
+
+# Packages whose concurrency is load-bearing: the race detector gates
+# them on every check (running -race over the whole module is much
+# slower and adds nothing — everything else is single-goroutine).
+RACE_PKGS := ./internal/mpi/... ./internal/core/...
+
+.PHONY: check build vet esvet test race bench clean
+
+check: build vet esvet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+esvet:
+	$(GO) run ./cmd/esvet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 20m $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$
+
+clean:
+	$(GO) clean ./...

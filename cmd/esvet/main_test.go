@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgeswitch/internal/analysis"
+)
+
+// writeModule materialises a throwaway module for the CLI to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const fixtureGoMod = "module fixturemod\n\ngo 1.21\n"
+
+// badCore violates norand (line 5) and noprint (line 9) at once.
+const badCore = `package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func Shuffle() {
+	fmt.Println(rand.Int())
+}
+`
+
+const cleanCore = `package core
+
+func Ops() int { return 1 }
+`
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":               fixtureGoMod,
+		"internal/core/ok.go":  cleanCore,
+		"internal/rng/rand.go": "package rng\n\nimport \"math/rand\"\n\nvar _ = rand.Int\n",
+	})
+	code, stdout, stderr := runCLI(t, "-root", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run printed: %q", stdout)
+	}
+}
+
+func TestRunReportsFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":               fixtureGoMod,
+		"internal/core/bad.go": badCore,
+	})
+	code, stdout, stderr := runCLI(t, "-root", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"internal/core/bad.go:5:", "[norand]", "internal/core/bad.go:9:", "[noprint]"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
+		t.Errorf("stderr missing summary: %q", stderr)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":               fixtureGoMod,
+		"internal/core/bad.go": badCore,
+	})
+	code, stdout, _ := runCLI(t, "-json", "-root", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not a diagnostic array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Check != "norand" || diags[0].File != "internal/core/bad.go" || diags[0].Line != 5 {
+		t.Fatalf("unexpected first diagnostic: %+v", diags[0])
+	}
+}
+
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":              fixtureGoMod,
+		"internal/core/ok.go": cleanCore,
+	})
+	code, stdout, _ := runCLI(t, "-json", "-root", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("clean JSON output %q, want []", stdout)
+	}
+}
+
+func TestRunCheckFilter(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":               fixtureGoMod,
+		"internal/core/bad.go": badCore,
+	})
+	code, stdout, _ := runCLI(t, "-check", "noprint", "-root", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if strings.Contains(stdout, "[norand]") {
+		t.Fatalf("filtered-out check still reported:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "[noprint]") {
+		t.Fatalf("selected check missing:\n%s", stdout)
+	}
+}
+
+func TestRunUnknownCheck(t *testing.T) {
+	code, _, stderr := runCLI(t, "-check", "bogus")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown check "bogus"`) {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, name := range analysis.CheckNames() {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("catalogue missing %q:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestRunNoModule(t *testing.T) {
+	code, _, stderr := runCLI(t, "-root", t.TempDir())
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no go.mod") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+// TestRunOnRepository gates the repository itself: esvet must exit 0.
+func TestRunOnRepository(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is slow")
+	}
+	code, stdout, stderr := runCLI(t, "-root", filepath.Join("..", ".."))
+	if code != 0 {
+		t.Fatalf("esvet on the repository: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// noCopyTypes are the synchronization primitives whose value semantics
+// break when copied: a copied Mutex is a different lock guarding the
+// same data, a copied WaitGroup splits its counter. The engine's
+// correctness depends on exactly one mailbox mutex per rank and exactly
+// one WaitGroup per transport, so a by-value signature is always a bug
+// even when today's call sites happen to pass zero-valued instances.
+var noCopyTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true,
+		"Once": true, "Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// checkCopyLock flags function parameters, results and receivers whose
+// type holds a lock by value (directly, or through struct fields and
+// array elements — the transitive scan go/types makes possible).
+// Pointers, slices, maps and channels are indirections and therefore
+// fine. This is the project-scoped cousin of `go vet -copylocks`,
+// extended to results and to the atomic value types.
+var checkCopyLock = &Check{
+	Name: "copylock",
+	Doc: "forbid passing sync.Mutex/WaitGroup (or structs containing them) " +
+		"by value in parameters, results and receivers",
+	Run: func(p *Pass) {
+		info := p.Pkg.TypesInfo
+		if info == nil {
+			return // type check failed or never ran; esvet surfaces that separately
+		}
+		for _, f := range p.Pkg.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				var ft *ast.FuncType
+				var what string
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					ft = n.Type
+					what = n.Name.Name
+					if n.Recv != nil {
+						for _, field := range n.Recv.List {
+							reportLockCopies(p, info, field, "receiver of "+what)
+						}
+					}
+				case *ast.FuncLit:
+					ft = n.Type
+					what = "function literal"
+				default:
+					return true
+				}
+				for _, field := range ft.Params.List {
+					reportLockCopies(p, info, field, "parameter of "+what)
+				}
+				if ft.Results != nil {
+					for _, field := range ft.Results.List {
+						reportLockCopies(p, info, field, "result of "+what)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// reportLockCopies checks one field (param/result/receiver entry).
+func reportLockCopies(p *Pass, info *types.Info, field *ast.Field, what string) {
+	tv, ok := info.Types[field.Type]
+	if !ok {
+		return
+	}
+	if path, found := lockPath(tv.Type, nil); found {
+		p.Reportf(field.Type.Pos(), "%s copies %s by value; pass a pointer instead", what, path)
+	}
+}
+
+// lockPath reports whether t holds a no-copy type by value, returning a
+// human-readable path like "sync.Mutex" or "mpi.World (field mu sync.Mutex)".
+func lockPath(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+			if noCopyTypes[obj.Pkg().Path()][obj.Name()] {
+				return obj.Pkg().Name() + "." + obj.Name(), true
+			}
+		}
+		if path, found := lockPath(u.Underlying(), seen); found {
+			name := u.Obj().Name()
+			if pkg := u.Obj().Pkg(); pkg != nil {
+				name = pkg.Name() + "." + name
+			}
+			return fmt.Sprintf("%s (%s)", name, path), true
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			fld := u.Field(i)
+			if path, found := lockPath(fld.Type(), seen); found {
+				return fmt.Sprintf("field %s %s", fld.Name(), path), true
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return "", false
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import "go/ast"
+
+// lifecycleMarker is the annotation that waives the structural
+// requirement when a goroutine's lifetime is managed some other way
+// (e.g. joined through a channel handshake). The comment must name the
+// mechanism, which is what reviewers then hold it to.
+const lifecycleMarker = "goroutine-lifecycle:"
+
+// checkGoLifecycle requires every goroutine in the message-passing
+// runtime and the engine to have a visible lifecycle. A goroutine spawned
+// without a WaitGroup (leak on shutdown, races with Close) or without a
+// recover (a panic in a transport goroutine kills the whole process
+// instead of failing the run) is exactly the kind of defect that only
+// shows up under -race or in production. Accepted patterns inside the
+// spawned function literal:
+//
+//   - a deferred call to a WaitGroup-style Done()
+//   - a deferred function literal that calls recover()
+//
+// Anything else needs an explicit `// goroutine-lifecycle: <mechanism>`
+// comment on the `go` statement's line or the line above.
+var checkGoLifecycle = &Check{
+	Name: "golifecycle",
+	Doc: "every `go` statement in internal/mpi and internal/core must use a " +
+		"deferred Done()/recover() pattern or carry a // goroutine-lifecycle: comment",
+	Run: func(p *Pass) {
+		if !p.Pkg.Under(enginePaths...) {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if f.Test {
+				continue
+			}
+			annotated := commentLines(p.Pkg.Fset, f.Ast, lifecycleMarker)
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				line := p.Pkg.Fset.Position(g.Pos()).Line
+				if annotated[line] || annotated[line-1] {
+					return true
+				}
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && funcLitManaged(lit) {
+					return true
+				}
+				p.Reportf(g.Pos(),
+					"unmanaged goroutine: pair it with a deferred Done()/recover() or annotate the `go` statement with // %s <mechanism>",
+					lifecycleMarker)
+				return true
+			})
+		}
+	},
+}
+
+// funcLitManaged reports whether the function literal's body contains a
+// deferred Done() call or a deferred recover handler at any depth (but
+// not inside a nested function literal, which has its own lifecycle).
+func funcLitManaged(lit *ast.FuncLit) bool {
+	managed := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if managed {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return n == lit // don't descend into nested goroutine bodies
+		case *ast.DeferStmt:
+			if deferIsDone(n) || deferIsRecover(n) {
+				managed = true
+				return false
+			}
+		}
+		return true
+	})
+	return managed
+}
+
+// deferIsDone matches `defer x.Done()` (WaitGroup join).
+func deferIsDone(d *ast.DeferStmt) bool {
+	sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done" && len(d.Call.Args) == 0
+}
+
+// deferIsRecover matches `defer func() { ... recover() ... }()`.
+func deferIsRecover(d *ast.DeferStmt) bool {
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

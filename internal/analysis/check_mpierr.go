@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// transportCalls are the method names whose error results carry the
+// message-passing runtime's failure signal. A dropped Send error means a
+// protocol message silently vanished — the engine then deadlocks or,
+// worse, finishes with a corrupted edge set; a dropped Close error hides
+// transport teardown failures that the next Run inherits.
+var transportCalls = map[string]bool{
+	"Send": true, "SendOwned": true, "Recv": true, "Close": true,
+}
+
+// checkMPIErr flags expression-statement calls (the completely ignored
+// form) to Send/SendOwned/Recv/Close in the runtime and engine packages.
+// An explicit `_ = x.Close()` or a `defer x.Close()` is a visible,
+// deliberate decision and is allowed; silently dropping the result on
+// the statement line is not. When type information is available, calls
+// whose signature carries no error are exempt.
+var checkMPIErr = &Check{
+	Name: "mpierr",
+	Doc: "forbid ignoring the error results of Send/SendOwned/Recv/Close " +
+		"call statements in internal/mpi and internal/core",
+	Run: func(p *Pass) {
+		if !p.Pkg.Under(enginePaths...) {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !transportCalls[sel.Sel.Name] {
+					return true
+				}
+				if info := p.Pkg.TypesInfo; info != nil && !callReturnsError(info, call) {
+					return true
+				}
+				p.Reportf(stmt.Pos(),
+					"result of %s ignored: handle the error, or discard it explicitly with `_ = ...` if teardown makes it irrelevant",
+					sel.Sel.Name)
+				return true
+			})
+		}
+	},
+}
+
+// callReturnsError reports whether any result of the call has type error.
+// Unresolvable calls default to true (flag rather than miss).
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return true
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return true
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok {
+			if named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import "strconv"
+
+// forbiddenRandImports are the random sources that bypass the
+// deterministic, seed-driven streams of internal/rng. math/rand has
+// global state and changes across Go releases; crypto/rand is
+// non-reproducible by design. Either one in an algorithm path silently
+// destroys the "same seed, same run" property every experiment and every
+// distributed rank relies on.
+var forbiddenRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+var checkNoRand = &Check{
+	Name: "norand",
+	Doc: "forbid math/rand and crypto/rand imports outside internal/rng: " +
+		"all randomness must derive from the seed-driven internal/rng streams",
+	Run: func(p *Pass) {
+		if p.Pkg.RelPath == "internal/rng" {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			for _, spec := range f.Ast.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil || !forbiddenRandImports[path] {
+					continue
+				}
+				p.Reportf(spec.Pos(),
+					"import of %q outside internal/rng: draw randomness from a seed-split *rng.RNG instead, so runs stay reproducible",
+					path)
+			}
+		}
+	},
+}

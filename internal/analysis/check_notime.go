@@ -1,0 +1,45 @@
+package analysis
+
+import "go/ast"
+
+// checkNoTime keeps wall-clock reads out of the deterministic packages.
+// internal/core, internal/rng and internal/partition must behave as pure
+// functions of (graph, seed, config): a time.Now anywhere in them is
+// either dead weight or a hidden input that makes replay debugging and
+// cross-run comparison impossible. Measured timing belongs in
+// internal/clock (the single audited gateway, stubbable in tests) or in
+// non-deterministic layers like internal/harness. Build-tagged files and
+// _test.go files are exempt, matching how debug instrumentation is
+// normally gated.
+var checkNoTime = &Check{
+	Name: "notime",
+	Doc: "forbid time.Now/time.Since in deterministic packages " +
+		"(internal/core, internal/rng, internal/partition); route timing through internal/clock",
+	Run: func(p *Pass) {
+		if !p.Pkg.Under(deterministicPaths...) {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if f.Test || f.BuildTagged {
+				continue
+			}
+			if _, imported := importLocalName(f.Ast, "time"); !imported {
+				continue
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				for _, fn := range []string{"Now", "Since"} {
+					if p.isPkgSel(f, sel, "time", fn) {
+						p.Reportf(sel.Pos(),
+							"time.%s in deterministic package %s: use internal/clock (stubbable) or move the measurement to a non-deterministic layer",
+							fn, p.Pkg.RelPath)
+					}
+				}
+				return true
+			})
+		}
+	},
+}

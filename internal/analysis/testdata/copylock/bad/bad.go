@@ -1,0 +1,26 @@
+// Fixture: locks passed by value. Requires TypeCheckStandalone.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ByValue(mu sync.Mutex) {}
+
+func Boxed(b box) { _ = b.n }
+
+func Result() sync.WaitGroup { return sync.WaitGroup{} }
+
+func (b box) Method() {}
+
+func Atomics(c atomic.Int64) {}
+
+func Arrayed(a [2]sync.Mutex) {}
+
+var f = func(o sync.Once) {}

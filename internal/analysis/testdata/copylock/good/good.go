@@ -1,0 +1,19 @@
+// Fixture: locks behind indirections are fine.
+package fixture
+
+import "sync"
+
+type box struct {
+	mu *sync.Mutex
+	n  int
+}
+
+func ByPointer(mu *sync.Mutex) {}
+
+func Boxed(b *box) { _ = b.n }
+
+func Sliced(ms []sync.Mutex) {}
+
+func Channeled(ch chan sync.Mutex) {}
+
+func (b *box) Method() {}

@@ -1,0 +1,17 @@
+// Fixture: unmanaged goroutines. Checked impersonated as internal/mpi.
+package fixture
+
+import "sync"
+
+func Spawn(wg *sync.WaitGroup) {
+	go func() { // a plain comment is not an annotation
+		work()
+	}()
+	go work()
+	go func() {
+		cb := func() { defer wg.Done() } // Done inside a nested literal does not count
+		cb()
+	}()
+}
+
+func work() {}

@@ -1,0 +1,6 @@
+// Fixture: _test.go files are exempt from the golifecycle check.
+package fixture
+
+func spawnInTest() {
+	go work()
+}

@@ -1,0 +1,25 @@
+// Fixture: every accepted goroutine lifecycle pattern.
+package fixture
+
+import "sync"
+
+func Spawn(wg *sync.WaitGroup, done chan struct{}) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+	// goroutine-lifecycle: joined by the <-done receive in Wait
+	go work()
+	go work() // goroutine-lifecycle: joined by the <-done receive in Wait
+}
+
+func work() {}

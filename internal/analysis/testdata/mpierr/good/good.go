@@ -1,0 +1,17 @@
+// Fixture: every accepted way to consume a transport error.
+package fixture
+
+type conn struct{}
+
+func (conn) Send(dst int, b []byte) error { return nil }
+
+func (conn) Close() error { return nil }
+
+func Teardown(c conn) error {
+	defer c.Close()
+	if err := c.Send(0, nil); err != nil {
+		return err
+	}
+	_ = c.Close()
+	return nil
+}

@@ -1,0 +1,16 @@
+// Fixture: terminal output from a library package. Checked impersonated
+// as internal/metrics (must fire) and cmd/edgeswitch / examples
+// (exempt paths).
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+func Report(rate float64) {
+	fmt.Println("visit rate:", rate)
+	fmt.Printf("rate=%f\n", rate)
+	fmt.Fprintf(os.Stderr, "rate=%f\n", rate)
+	println("debug", rate)
+}

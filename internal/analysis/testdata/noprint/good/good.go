@@ -1,0 +1,15 @@
+// Fixture: sanctioned output — injected writers and formatted returns.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func Report(w io.Writer, rate float64) {
+	fmt.Fprintf(w, "rate=%f\n", rate)
+}
+
+func Format(rate float64) string {
+	return fmt.Sprintf("rate=%f", rate)
+}

@@ -1,0 +1,14 @@
+// Fixture: forbidden randomness imports. Checked by analysis_test.go
+// impersonated as internal/core (must fire) and internal/rng (exempt).
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+func Draw() int {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return rand.Int() + int(b[0])
+}

@@ -1,0 +1,7 @@
+// Fixture: randomness without the forbidden imports.
+package fixture
+
+func Draw(state *uint64) uint64 {
+	*state = *state*6364136223846793005 + 1442695040888963407
+	return *state
+}

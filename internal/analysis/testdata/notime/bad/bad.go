@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads in a deterministic package. Checked
+// impersonated as internal/core (must fire) and internal/harness
+// (exempt path).
+package fixture
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,6 @@
+// Fixture: _test.go files are exempt from the notime check.
+package fixture
+
+import "time"
+
+var testStart = time.Now()

@@ -1,0 +1,8 @@
+//go:build esdebug
+
+// Fixture: build-tagged files are exempt (debug instrumentation gate).
+package fixture
+
+import "time"
+
+func DebugStamp() time.Time { return time.Now() }

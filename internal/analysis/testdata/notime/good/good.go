@@ -1,0 +1,15 @@
+// Fixture: a local identifier shadowing the time import. With type
+// information the check must recognise that time.Now() here calls the
+// fake clock, not the package.
+package fixture
+
+import "time"
+
+type fakeClock struct{}
+
+func (fakeClock) Now() time.Time { return time.Time{} }
+
+func Stamp() time.Time {
+	time := fakeClock{}
+	return time.Now()
+}

@@ -1,0 +1,30 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowUsesRealClockByDefault(t *testing.T) {
+	before := time.Now()
+	got := Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestSetForTestSubstitutesAndRestores(t *testing.T) {
+	fake := time.Date(2014, 9, 9, 0, 0, 0, 0, time.UTC) // ICPP 2014
+	restore := SetForTest(func() time.Time { return fake })
+	if got := Now(); !got.Equal(fake) {
+		t.Fatalf("Now() = %v, want fake %v", got, fake)
+	}
+	if got := Since(fake.Add(-3 * time.Second)); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+	restore()
+	if Now().Year() == 2014 {
+		t.Fatal("restore did not reinstall the real clock")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"edgeswitch/internal/clock"
 	"edgeswitch/internal/graph"
 	"edgeswitch/internal/mpi"
 	"edgeswitch/internal/partition"
@@ -43,6 +44,14 @@ type Config struct {
 	// SkipResult suppresses gathering and reassembling the final graph,
 	// for benchmark runs that only need timing and counters.
 	SkipResult bool
+	// CheckInvariants runs the engine under the invariant sanitizer (see
+	// sanitize.go): after every step, each rank re-verifies simplicity,
+	// ownership and Fenwick consistency of its partition, and all ranks
+	// jointly re-verify the global degree sequence and edge count against
+	// the pre-switching baseline. The reassembled result graph is checked
+	// too. Costs O(n + m/p) work plus one O(n) allreduce per step; meant
+	// for tests and checked production runs, off by default.
+	CheckInvariants bool
 }
 
 // Result reports a parallel run.
@@ -183,15 +192,15 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 		stepSize = t
 	}
 
-	eng, err := newRankEngine(c, pt, g.N(), g.M(), local, cfg.Seed)
+	eng, err := newRankEngine(c, pt, g.N(), g.M(), local, cfg.Seed, cfg.CheckInvariants)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := clock.Now()
 	if err := eng.run(t, stepSize); err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	elapsed := clock.Since(start)
 
 	// Gather statistics at rank 0.
 	stats := []int64{eng.opsInitiated, eng.restarts, eng.forfeited,
@@ -268,6 +277,11 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 	}
 	if out.M() != g.M() {
 		return nil, fmt.Errorf("core: edge count changed: %d -> %d", g.M(), out.M())
+	}
+	if cfg.CheckInvariants {
+		if vs := SanitizeGraph(out, NewBaseline(g)); len(vs) > 0 {
+			return nil, fmt.Errorf("core: reassembled graph fails invariant sanitizer: %s", summarize(vs))
+		}
 	}
 	res.Graph = out
 	res.VisitRate = VisitRate(out.Originals(), g.M())

@@ -62,7 +62,7 @@ func checkRun(t *testing.T, g *graph.Graph, res *Result, tOps int64) {
 
 func TestParallelSingleRank(t *testing.T) {
 	g := testGraph(t, 1, 1000, 5000)
-	res, err := Parallel(g, 2000, Config{Ranks: 1, Seed: 42})
+	res, err := Parallel(g, 2000, Config{Ranks: 1, Seed: 42, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestParallelAllSchemes(t *testing.T) {
 	g := testGraph(t, 2, 2000, 12000)
 	for _, scheme := range Schemes() {
 		for _, p := range []int{2, 4, 7} {
-			res, err := Parallel(g, 3000, Config{Ranks: p, Scheme: scheme, Seed: 7, StepSize: 1000})
+			res, err := Parallel(g, 3000, Config{Ranks: p, Scheme: scheme, Seed: 7, StepSize: 1000, CheckInvariants: true})
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", scheme, p, err)
 			}
@@ -99,7 +99,7 @@ func TestParallelAllSchemes(t *testing.T) {
 
 func TestParallelSingleStep(t *testing.T) {
 	g := testGraph(t, 3, 1500, 9000)
-	res, err := Parallel(g, 2500, Config{Ranks: 5, Scheme: SchemeHPU, Seed: 11})
+	res, err := Parallel(g, 2500, Config{Ranks: 5, Scheme: SchemeHPU, Seed: 11, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestParallelSingleStep(t *testing.T) {
 
 func TestParallelOverTCP(t *testing.T) {
 	g := testGraph(t, 4, 800, 4000)
-	res, err := Parallel(g, 1000, Config{Ranks: 3, Scheme: SchemeHPD, Seed: 13, UseTCP: true})
+	res, err := Parallel(g, 1000, Config{Ranks: 3, Scheme: SchemeHPD, Seed: 13, UseTCP: true, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestParallelTinyGraphTerminates(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range []int{2, 4, 8} {
-		res, err := Parallel(g, 200, Config{Ranks: p, Scheme: SchemeHPD, Seed: uint64(p), StepSize: 50})
+		res, err := Parallel(g, 200, Config{Ranks: p, Scheme: SchemeHPD, Seed: uint64(p), StepSize: 50, CheckInvariants: true})
 		if err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
@@ -262,7 +262,7 @@ func TestParallelMoreRanksThanEdges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Parallel(g, 50, Config{Ranks: 10, Scheme: SchemeHPM, Seed: 5, StepSize: 10})
+	res, err := Parallel(g, 50, Config{Ranks: 10, Scheme: SchemeHPM, Seed: 5, StepSize: 10, CheckInvariants: true})
 	if err != nil {
 		t.Fatal(err)
 	}

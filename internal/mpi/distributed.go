@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -49,7 +50,7 @@ func JoinDistributed(rank, size int, addr string, timeout time.Duration) (*ProcW
 	client, err := dialDist(rank, addr, pw.box, timeout)
 	if err != nil {
 		if pw.hub != nil {
-			pw.hub.stop()
+			_ = pw.hub.stop() // the dial failure is the error worth reporting
 		}
 		return nil, err
 	}
@@ -76,13 +77,18 @@ func (pw *ProcWorld) Run(body func(c *Comm) error) error {
 // after all ranks have finished their exchanges.
 func (pw *ProcWorld) Close() error {
 	pw.box.close()
+	var errs []error
 	if pw.client != nil {
-		pw.client.stop()
+		if err := pw.client.stop(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if pw.hub != nil {
-		pw.hub.stop()
+		if err := pw.hub.stop(); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // distClient is the per-process transport: one connection to the hub.
@@ -110,7 +116,7 @@ func dialDist(rank int, addr string, box *mailbox, timeout time.Duration) (*dist
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
 	if _, err := conn.Write(hdr[:]); err != nil {
-		conn.Close()
+		_ = conn.Close() // surface the handshake failure, not the close
 		return nil, fmt.Errorf("mpi: distributed handshake: %w", err)
 	}
 	c := &distClient{rank: rank, conn: conn}
@@ -139,8 +145,11 @@ func (c *distClient) send(src, dst, tag int, data []byte) error {
 }
 
 func (c *distClient) stop() error {
-	c.conn.Close()
+	err := c.conn.Close()
 	c.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("mpi: closing client connection: %w", err)
+	}
 	return nil
 }
 
@@ -204,14 +213,14 @@ func (h *distHub) accept() {
 		}
 		var hdr [4]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			conn.Close()
+			_ = conn.Close() // malformed handshake; nothing to report it to
 			return
 		}
 		rank := int(int32(binary.LittleEndian.Uint32(hdr[:])))
 		h.mu.Lock()
 		if rank < 0 || rank >= h.size || h.writers[rank] != nil {
 			h.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // rejected join (bad or duplicate rank)
 			return
 		}
 		hw := newHubWriter()
@@ -247,9 +256,12 @@ func (h *distHub) route(conn net.Conn, src int) {
 	}
 }
 
-func (h *distHub) stop() {
+func (h *distHub) stop() error {
+	var err error
 	h.once.Do(func() {
-		h.ln.Close()
+		if cerr := h.ln.Close(); cerr != nil {
+			err = fmt.Errorf("mpi: closing coordinator listener: %w", cerr)
+		}
 		h.mu.Lock()
 		for _, hw := range h.writers {
 			if hw != nil {
@@ -258,4 +270,5 @@ func (h *distHub) stop() {
 		}
 		h.mu.Unlock()
 	})
+	return err
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -112,7 +113,8 @@ func (t *tcpTransport) start(boxes []*mailbox) error {
 
 	// Accept hub-side connections.
 	accepted := make(chan error, 1)
-	go func() {
+	go func() { // goroutine-lifecycle: joined by the <-accepted receive at the end of start
+
 		for i := 0; i < t.size; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
@@ -240,21 +242,26 @@ func (t *tcpTransport) send(src, dst, tag int, data []byte) error {
 }
 
 func (t *tcpTransport) stop() error {
+	var errs []error
 	t.stopOnce.Do(func() {
 		close(t.stopped)
 		if t.ln != nil {
-			t.ln.Close()
+			if err := t.ln.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("mpi: closing tcp listener: %w", err))
+			}
 		}
 		for _, hw := range t.hubWr {
 			if hw != nil {
 				hw.close()
 			}
 		}
-		for _, c := range t.conns {
+		for rank, c := range t.conns {
 			if c != nil {
-				c.Close()
+				if err := c.Close(); err != nil {
+					errs = append(errs, fmt.Errorf("mpi: closing rank %d connection: %w", rank, err))
+				}
 			}
 		}
 	})
-	return nil
+	return errors.Join(errs...)
 }
