@@ -7,7 +7,7 @@ GO ?= go
 # slower and adds nothing — everything else is single-goroutine).
 RACE_PKGS := ./internal/mpi/... ./internal/core/...
 
-.PHONY: check build vet esvet test race bench clean
+.PHONY: check build vet esvet test race bench benchsmoke clean
 
 check: build vet esvet test race
 
@@ -28,6 +28,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# One tiny iteration of the engine-step benchmark on small inputs: proves
+# the bench harness (worlds, counters, metrics) still runs, without
+# measuring anything. CI runs this so benchmark rot is caught early.
+benchsmoke:
+	$(GO) test -short -run=^$$ -bench=BenchmarkEngineStep -benchtime=1x ./internal/core/
 
 clean:
 	$(GO) clean ./...

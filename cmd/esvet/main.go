@@ -1,7 +1,8 @@
 // Command esvet runs the project's static-analysis suite: the invariant
 // checks of internal/analysis that the Go compiler and `go vet` cannot
 // express (deterministic randomness, wall-clock hygiene, goroutine
-// lifecycles, lock copies, dropped transport errors, library prints).
+// lifecycles, lock copies, dropped transport errors, library prints,
+// sleep-polling in the runtime).
 //
 // Usage:
 //

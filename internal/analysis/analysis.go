@@ -53,6 +53,7 @@ func Checks() []*Check {
 		checkCopyLock,
 		checkMPIErr,
 		checkNoPrint,
+		checkNoPoll,
 	}
 }
 

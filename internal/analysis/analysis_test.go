@@ -153,6 +153,20 @@ func TestChecksOnFixtures(t *testing.T) {
 			name: "noprint silent on injected writers",
 			check: "noprint", variant: "good", as: "internal/metrics",
 		},
+		{
+			name: "nopoll fires on sleep loops in the runtime",
+			check: "nopoll", variant: "bad", as: "internal/mpi",
+			want: []finding{{"bad.go", 7}, {"bad.go", 14}},
+			msg:  "sleep-polling",
+		},
+		{
+			name: "nopoll exempts non-engine packages",
+			check: "nopoll", variant: "bad", as: "internal/harness",
+		},
+		{
+			name: "nopoll accepts blocking waits and annotated sleeps",
+			check: "nopoll", variant: "good", as: "internal/mpi",
+		},
 	}
 
 	for _, tt := range tests {

@@ -1,0 +1,17 @@
+package bad
+
+import "time"
+
+func spinUntil(ready func() bool) {
+	for !ready() {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func spinOverRanks(ranks []int, joined func(int) bool) {
+	for _, r := range ranks {
+		for !joined(r) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

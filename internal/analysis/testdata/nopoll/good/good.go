@@ -1,0 +1,51 @@
+package good
+
+import (
+	"sync"
+	"time"
+)
+
+// A one-shot sleep outside any loop is not polling.
+func settle() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Condition-variable wait is the sanctioned blocking pattern.
+func waitReady(mu *sync.Mutex, cond *sync.Cond, ready *bool) {
+	mu.Lock()
+	for !*ready {
+		cond.Wait()
+	}
+	mu.Unlock()
+}
+
+// Timer-based backoff blocks on a channel, not a clock poll.
+func backoff(tries int) {
+	d := time.Millisecond
+	for i := 0; i < tries; i++ {
+		t := time.NewTimer(d)
+		<-t.C
+		d *= 2
+	}
+}
+
+// An annotated sleep documents why polling is unavoidable here.
+func watchExternal(done func() bool) {
+	for !done() {
+		time.Sleep(time.Second) // nopoll: external process exposes no wait handle
+	}
+}
+
+// A goroutine body spawned inside a loop has its own control flow; the
+// sleep is not loop-polling.
+func spawnSleepers(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+}

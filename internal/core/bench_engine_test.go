@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/mpi"
+	"edgeswitch/internal/rng"
+)
+
+// BenchmarkEngineStep times one full engine step (a complete RunRank with
+// a single-step quota) across the message-plane matrix: both transports,
+// two rank counts, batching on/off, sanitizer on/off. Beyond ns/op it
+// reports the transport traffic a step costs — msgs/op is the number of
+// payloads handed to the transport (what batching shrinks), bytes/op the
+// payload volume — so the coalescing win is visible in `go test -bench`
+// output directly; BENCH_messageplane.json records the numbers.
+func BenchmarkEngineStep(b *testing.B) {
+	n, m, ops := 1200, int64(6000), int64(4000)
+	if testing.Short() {
+		n, m, ops = 300, int64(1500), int64(800)
+	}
+	g, err := gen.ErdosRenyi(rng.Split(31, 0), n, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name              string
+		sanitize, noBatch bool
+	}{
+		{name: "batch"},
+		{name: "batch+sanitize", sanitize: true},
+		{name: "nobatch", noBatch: true},
+	}
+	for _, transport := range []string{"mem", "tcp"} {
+		for _, p := range []int{2, 8} {
+			for _, v := range variants {
+				b.Run(fmt.Sprintf("%s/p%d/%s", transport, p, v.name), func(b *testing.B) {
+					var opts []mpi.Option
+					if transport == "tcp" {
+						opts = append(opts, mpi.WithTCP())
+					}
+					w, err := mpi.NewWorld(p, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer w.Close()
+					cfg := Config{
+						Ranks:           p,
+						Scheme:          SchemeHPD,
+						Seed:            31,
+						SkipResult:      true,
+						CheckInvariants: v.sanitize,
+						DisableBatching: v.noBatch,
+					}
+					start := w.Stats()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						err := w.Run(func(c *mpi.Comm) error {
+							_, err := RunRank(c, g, ops, cfg)
+							return err
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					st := w.Stats()
+					b.ReportMetric(float64(st.Sends-start.Sends)/float64(b.N), "msgs/op")
+					b.ReportMetric(float64(st.Bytes-start.Bytes)/float64(b.N), "bytes/op")
+				})
+			}
+		}
+	}
+}

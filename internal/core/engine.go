@@ -54,20 +54,27 @@ type rankEngine struct {
 	// to draw the partner rank with probability |E_j|/|E|.
 	cumEdges []int64
 
-	// Initiator-side state: at most one own operation in flight.
-	myOp      *initOp
+	// Initiator-side state: own operations in flight, keyed by id with
+	// the taken first edge as value. Up to opWindow operations are
+	// pipelined concurrently (see opWindowSize): a window keeps the rank
+	// busy between replies, and — the message plane's point — gives each
+	// flush several records per destination instead of one. Semantically
+	// a window is no different from the concurrency already present
+	// across ranks: an in-flight e1 is out of the partition, so peers
+	// treat it exactly like another rank's in-hand edge.
+	myOps     map[opID]graph.Edge
 	seq       uint64
-	remaining int64 // ops still to initiate this step
+	remaining int64 // ops still to complete this step
 	sentEOS   bool
 	eosOthers int
 
-	// curRestarts counts consecutive aborts of the operation currently
-	// being attempted. The partner-selection probabilities are stale
-	// within a step (they are refreshed only at step boundaries, §4.5),
-	// so on degenerate tiny graphs every candidate partner can be empty;
-	// past restartExplore the partner is drawn uniformly instead, and
-	// past restartForfeit the single operation is abandoned. Realistic
-	// partitions never approach either threshold.
+	// curRestarts counts consecutive aborts across own operations. The
+	// partner-selection probabilities are stale within a step (they are
+	// refreshed only at step boundaries, §4.5), so on degenerate tiny
+	// graphs every candidate partner can be empty; past restartExplore
+	// the partner is drawn uniformly instead, and past restartForfeit one
+	// operation is abandoned. Realistic partitions never approach either
+	// threshold.
 	curRestarts int64
 
 	// Stall detection (see mStalled in messages.go): myStalled is this
@@ -80,24 +87,29 @@ type rankEngine struct {
 	// Partner-side state: operations this rank is orchestrating.
 	partnerOps map[opID]*partnerOp
 
+	// sb is the batching message plane (see sendbuf.go): outbound
+	// protocol messages coalesce per destination and flush whenever the
+	// step loop is about to block. noBatch (Config.DisableBatching)
+	// flushes after every message instead, for benchmarks quantifying
+	// the coalescing win.
+	sb      sendBuffer
+	noBatch bool
+
 	// Invariant sanitizer (Config.CheckInvariants): when sanitize is set,
-	// baseDeg records the global degree sequence at load time and every
-	// step boundary re-verifies the full state against it (see
-	// sanitize.go).
+	// baseDeg records the global degree sequence at load time, degDelta
+	// accumulates local degree changes between step boundaries for the
+	// sparse conservation check fused into stepExchange, and the full
+	// state is re-verified against baseDeg at the end of the run (see
+	// sanitize.go and stepsync.go).
 	sanitize bool
 	baseDeg  []int64
+	degDelta map[graph.Vertex]int32
 
 	// Statistics.
 	opsInitiated int64
 	restarts     int64
 	forfeited    int64
 	msgsSent     int64
-}
-
-// initOp is the initiator's view of its in-flight operation.
-type initOp struct {
-	id opID
-	e1 graph.Edge
 }
 
 // Partner-op phases.
@@ -113,6 +125,30 @@ const (
 	restartForfeit = 20000
 )
 
+// opWindow caps the number of own operations a rank pipelines.
+const opWindow = 64
+
+// opWindowSize bounds the in-flight window by the local partition: a rank
+// never holds more than ~1/8 of its current edges in flight, so tiny
+// partitions degrade to the unpipelined protocol instead of emptying
+// themselves into inHand (which would inflate conflicts and stalls).
+// A single rank runs unpipelined: there is no transport to batch for,
+// and a window would draw first edges without replacement, departing
+// from the sequential chain that p=1 must realize exactly.
+func (e *rankEngine) opWindowSize() int {
+	if e.c.Size() == 1 {
+		return 1
+	}
+	w := int(e.deg.Total() / 8)
+	if w < 1 {
+		w = 1
+	}
+	if w > opWindow {
+		w = opWindow
+	}
+	return w
+}
+
 // partnerOp is the partner's view of an operation it orchestrates.
 type partnerOp struct {
 	id        opID
@@ -126,21 +162,29 @@ type partnerOp struct {
 	acksLeft  int
 }
 
-// newRankEngine loads a rank's partition and prepares its state. With
-// sanitize set, every step of the run re-verifies the engine invariants
-// (see sanitize.go).
-func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges []flaggedEdge, seed uint64, sanitize bool) (*rankEngine, error) {
+// newRankEngine loads a rank's partition and prepares its state. Only
+// cfg.Seed, cfg.CheckInvariants and cfg.DisableBatching are consulted;
+// the communicator decides everything else. With CheckInvariants set,
+// every step boundary of the run re-verifies the engine invariants (see
+// sanitize.go and stepsync.go).
+func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges []flaggedEdge, cfg Config) (*rankEngine, error) {
 	e := &rankEngine{
 		c:          c,
 		pt:         pt,
-		rnd:        rng.Split(seed, c.Rank()+2),
+		rnd:        rng.Split(cfg.Seed, c.Rank()+2),
 		n:          n,
 		m:          m,
 		verts:      partition.LocalVertices(pt, n, c.Rank()),
 		inHand:     make(map[graph.Edge]bool),
 		potential:  make(map[graph.Edge]opID),
+		myOps:      make(map[opID]graph.Edge),
 		partnerOps: make(map[opID]*partnerOp),
-		sanitize:   sanitize,
+		sanitize:   cfg.CheckInvariants,
+		noBatch:    cfg.DisableBatching,
+	}
+	e.sb.init(c)
+	if e.sanitize {
+		e.degDelta = make(map[graph.Vertex]int32)
 	}
 	e.index = make(map[graph.Vertex]int32, len(e.verts))
 	for i, v := range e.verts {
@@ -163,6 +207,11 @@ func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges 
 }
 
 // run executes t operations in steps of stepSize (§4.5's step protocol).
+// Each step boundary costs exactly one collective, the fused
+// stepExchange: it carries the edge counts prepareStep needs and, in
+// sanitized runs, the sparse degree-delta conservation check — a step's
+// deltas are verified by the next boundary's exchange, and the final
+// step by the full verifyBaseline pass at the end of the run.
 func (e *rankEngine) run(t, stepSize int64) error {
 	if t == 0 {
 		return nil
@@ -177,7 +226,11 @@ func (e *rankEngine) run(t, stepSize int64) error {
 		if t-done < s {
 			s = t - done
 		}
-		if err := e.prepareStep(s); err != nil {
+		counts, err := e.stepExchange()
+		if err != nil {
+			return err
+		}
+		if err := e.prepareStep(s, counts); err != nil {
 			return err
 		}
 		if err := e.stepLoop(); err != nil {
@@ -186,22 +239,16 @@ func (e *rankEngine) run(t, stepSize int64) error {
 		if err := e.checkStepInvariants(); err != nil {
 			return err
 		}
-		if e.sanitize {
-			if err := e.sanitizeStep(); err != nil {
-				return err
-			}
-		}
+	}
+	if e.sanitize {
+		return e.verifyBaseline()
 	}
 	return nil
 }
 
-// prepareStep exchanges edge counts, rebuilds the selection prefix sums,
-// and draws this step's multinomial operation distribution.
-func (e *rankEngine) prepareStep(s int64) error {
-	counts, err := e.c.AllgatherInt64(e.deg.Total())
-	if err != nil {
-		return err
-	}
+// prepareStep rebuilds the selection prefix sums from the step-boundary
+// edge counts and draws this step's multinomial operation distribution.
+func (e *rankEngine) prepareStep(s int64, counts []int64) error {
 	p := e.c.Size()
 	e.cumEdges = make([]int64, p+1)
 	q := make([]float64, p)
@@ -243,15 +290,14 @@ func (e *rankEngine) prepareStep(s int64) error {
 }
 
 // broadcastCtl sends a control message (EOS/stalled/resumed) to every
-// other rank.
+// other rank, through the message plane so signals coalesce with any
+// protocol traffic already batched for the same destinations.
 func (e *rankEngine) broadcastCtl(kind msgKind) error {
-	payload := opMsg{kind: kind}.encode()
 	for dst := 0; dst < e.c.Size(); dst++ {
 		if dst == e.c.Rank() {
 			continue
 		}
-		e.msgsSent++
-		if err := e.c.Send(dst, opTag, payload); err != nil {
+		if err := e.send(dst, opMsg{kind: kind}); err != nil {
 			return err
 		}
 	}
@@ -286,8 +332,10 @@ func (e *rankEngine) stepLoop() error {
 				}
 			}
 		}
-		// Start the next own operation if possible.
-		if e.myOp == nil && e.remaining > 0 {
+		// Start own operations up to the pipelining window. Filling the
+		// window before flushing is what gives the message plane several
+		// records per destination batch.
+		if int64(len(e.myOps)) < e.remaining {
 			if e.curRestarts >= restartForfeit {
 				// Structurally stuck operation (e.g. no valid switch
 				// exists anywhere for this partition's edges): abandon
@@ -304,23 +352,34 @@ func (e *rankEngine) stepLoop() error {
 						return err
 					}
 				}
-				if err := e.startOp(); err != nil {
-					return err
+				started := false
+				for w := e.opWindowSize(); len(e.myOps) < w &&
+					int64(len(e.myOps)) < e.remaining && e.deg.Total() > 0; {
+					if err := e.startOp(); err != nil {
+						return err
+					}
+					started = true
 				}
-				continue
+				if started {
+					continue
+				}
 			}
-			// Partition empty: announce the stall so peers in the same
-			// state can detect global quiescence.
-			if !e.myStalled {
+			if len(e.myOps) > 0 {
+				// In-flight operations will complete or abort and either
+				// decrement the quota or restore edges; wait below.
+			} else if !e.myStalled {
+				// Partition empty with nothing in flight: announce the
+				// stall so peers in the same state can detect global
+				// quiescence.
 				e.myStalled = true
 				if err := e.broadcastCtl(mStalled); err != nil {
 					return err
 				}
 				continue
-			}
-			// If every peer is finished or stalled, no operation exists
-			// anywhere that could deliver us an edge: forfeit the rest.
-			if e.eosOthers+e.stalledCount == p-1 {
+			} else if e.eosOthers+e.stalledCount == p-1 {
+				// Every peer is finished or stalled, and nothing of ours
+				// is in flight: no operation exists anywhere that could
+				// deliver us an edge, so forfeit the rest.
 				e.forfeited += e.remaining
 				e.remaining = 0
 				e.myStalled = false
@@ -332,26 +391,33 @@ func (e *rankEngine) stepLoop() error {
 			// Otherwise wait below for edges or signals to arrive.
 		}
 		// Announce quota completion exactly once.
-		if e.remaining == 0 && e.myOp == nil && !e.sentEOS {
+		if e.remaining == 0 && len(e.myOps) == 0 && !e.sentEOS {
 			if err := e.broadcastCtl(mEndOfStep); err != nil {
 				return err
 			}
 			e.sentEOS = true
 			continue
 		}
-		// Exit when everyone is done.
+		// Exit when everyone is done. The final drain may have produced
+		// replies (e.g. an ack for a commit delivered alongside the last
+		// end-of-step signal), so push out anything still batched.
 		if e.sentEOS && e.eosOthers == p-1 {
-			return nil
+			return e.sb.flush()
 		}
 		// Nothing to do right now: block for the next message (the
 		// self queue is necessarily empty here — every branch that
-		// fills it loops back through the drain).
+		// fills it loops back through the drain). Everything batched
+		// must go out first: peers may be blocked on exactly the
+		// messages we are holding.
 		if len(e.selfQ) > 0 {
 			continue
 		}
+		if err := e.sb.flush(); err != nil {
+			return err
+		}
 		if debugTrace {
-			e.trace("blocking: myOp=%v remaining=%d deg=%d eos=%d stalled=%d myStalled=%v sentEOS=%v partnerOps=%d",
-				e.myOp, e.remaining, e.deg.Total(), e.eosOthers, e.stalledCount, e.myStalled, e.sentEOS, len(e.partnerOps))
+			e.trace("blocking: myOps=%d remaining=%d deg=%d eos=%d stalled=%d myStalled=%v sentEOS=%v partnerOps=%d",
+				len(e.myOps), e.remaining, e.deg.Total(), e.eosOthers, e.stalledCount, e.myStalled, e.sentEOS, len(e.partnerOps))
 		}
 		m, err := e.c.Recv(mpi.AnySource, opTag)
 		if err != nil {
@@ -374,8 +440,11 @@ func (e *rankEngine) checkStepInvariants() error {
 	if len(e.partnerOps) != 0 {
 		return fmt.Errorf("core: rank %d ends step with %d partner ops", e.c.Rank(), len(e.partnerOps))
 	}
-	if e.myOp != nil || e.remaining != 0 {
+	if len(e.myOps) != 0 || e.remaining != 0 {
 		return fmt.Errorf("core: rank %d ends step mid-operation", e.c.Rank())
+	}
+	if n := e.sb.pendingBytes(); n != 0 {
+		return fmt.Errorf("core: rank %d ends step with %d unflushed batch bytes", e.c.Rank(), n)
 	}
 	return nil
 }
@@ -409,6 +478,7 @@ func (e *rankEngine) takeRandomEdge() graph.Edge {
 	e.deg.Add(slot, -1)
 	ed := graph.Edge{U: e.verts[slot], V: v}
 	e.inHand[ed] = orig
+	e.noteDegree(ed, -1)
 	return ed
 }
 
@@ -424,6 +494,7 @@ func (e *rankEngine) reinsert(ed graph.Edge) error {
 		return fmt.Errorf("core: rank %d reinsert found duplicate %v", e.c.Rank(), ed)
 	}
 	e.deg.Add(int(li), 1)
+	e.noteDegree(ed, 1)
 	return nil
 }
 
@@ -457,7 +528,11 @@ func (e *rankEngine) send(dst int, m opMsg) error {
 		e.selfQ = append(e.selfQ, m)
 		return nil
 	}
-	return e.c.SendOwned(dst, opTag, m.encode())
+	e.sb.add(dst, m)
+	if e.noBatch {
+		return e.sb.flushDst(dst)
+	}
+	return nil
 }
 
 // ---- initiator role ----
@@ -468,20 +543,21 @@ func (e *rankEngine) startOp() error {
 	e.seq++
 	id := opID{rank: int32(e.c.Rank()), seq: e.seq}
 	e1 := e.takeRandomEdge()
-	e.myOp = &initOp{id: id, e1: e1}
+	e.myOps[id] = e1
 	partner := e.pickPartner()
 	return e.send(partner, opMsg{kind: mSelectSecond, id: id, e1: e1})
 }
 
 // onOpDone finalizes a committed own operation.
 func (e *rankEngine) onOpDone(id opID) error {
-	if e.myOp == nil || e.myOp.id != id {
+	e1, mine := e.myOps[id]
+	if !mine {
 		return fmt.Errorf("core: rank %d got %v for unknown own op", e.c.Rank(), id)
 	}
-	if err := e.discard(e.myOp.e1); err != nil {
+	if err := e.discard(e1); err != nil {
 		return err
 	}
-	e.myOp = nil
+	delete(e.myOps, id)
 	e.remaining--
 	e.opsInitiated++
 	e.curRestarts = 0
@@ -490,13 +566,14 @@ func (e *rankEngine) onOpDone(id opID) error {
 
 // onAbort restarts an own operation after rejection.
 func (e *rankEngine) onAbort(id opID) error {
-	if e.myOp == nil || e.myOp.id != id {
+	e1, mine := e.myOps[id]
+	if !mine {
 		return fmt.Errorf("core: rank %d got abort %v for unknown own op", e.c.Rank(), id)
 	}
-	if err := e.reinsert(e.myOp.e1); err != nil {
+	if err := e.reinsert(e1); err != nil {
 		return err
 	}
-	e.myOp = nil
+	delete(e.myOps, id)
 	e.restarts++
 	e.curRestarts++
 	return nil
@@ -654,6 +731,7 @@ func (e *rankEngine) onCommit(id opID, ed graph.Edge, partner int) error {
 		return fmt.Errorf("core: rank %d commit found duplicate edge %v", e.c.Rank(), ed)
 	}
 	e.deg.Add(int(li), 1)
+	e.noteDegree(ed, 1)
 	return e.send(partner, opMsg{kind: mCommitAck, id: id, e1: ed})
 }
 
@@ -667,13 +745,15 @@ func (e *rankEngine) onRelease(id opID, ed graph.Edge, partner int) error {
 	return e.send(partner, opMsg{kind: mReleaseAck, id: id, e1: ed})
 }
 
-// handle decodes and dispatches one mailbox message.
+// handle dispatches one mailbox payload — a batch of one or more framed
+// protocol messages — then recycles the buffer (the sender transferred
+// ownership with SendOwned, and decoding copies every field out).
 func (e *rankEngine) handle(m mpi.Message) error {
-	om, err := decodeOpMsg(m.Data)
-	if err != nil {
-		return err
-	}
-	return e.handleMsg(om, m.Src)
+	err := forEachOpMsg(m.Data, func(om opMsg) error {
+		return e.handleMsg(om, m.Src)
+	})
+	putBatchBuf(m.Data)
+	return err
 }
 
 // handleMsg dispatches one protocol message from src.

@@ -32,7 +32,7 @@ func newTestEngine(t *testing.T, g *graph.Graph) (*rankEngine, *mpi.World) {
 	var eng *rankEngine
 	err = w.Run(func(c *mpi.Comm) error {
 		var err error
-		eng, err = newRankEngine(c, pt, g.N(), g.M(), edges, 5, true)
+		eng, err = newRankEngine(c, pt, g.N(), g.M(), edges, Config{Seed: 5, CheckInvariants: true})
 		return err
 	})
 	if err != nil {
@@ -198,7 +198,7 @@ func TestEngineOwnerRoutesByMinEndpoint(t *testing.T) {
 	}
 	defer w.Close()
 	err = w.Run(func(c *mpi.Comm) error {
-		eng, err := newRankEngine(c, pt, g.N(), g.M(), nil, 7, true)
+		eng, err := newRankEngine(c, pt, g.N(), g.M(), nil, Config{Seed: 7, CheckInvariants: true})
 		if err != nil {
 			return err
 		}

@@ -115,13 +115,54 @@ const opMsgLen = 1 + 4 + 8 + 16
 // encode serializes the message into a fresh buffer.
 func (m opMsg) encode() []byte {
 	buf := make([]byte, opMsgLen)
+	m.encodeInto(buf)
+	return buf
+}
+
+// encodeInto serializes the message into buf, which must hold opMsgLen
+// bytes.
+func (m opMsg) encodeInto(buf []byte) {
 	buf[0] = byte(m.kind)
 	binary.LittleEndian.PutUint32(buf[1:], uint32(m.id.rank))
 	binary.LittleEndian.PutUint64(buf[5:], m.id.seq)
 	binary.LittleEndian.PutUint32(buf[13:], uint32(m.e1.U))
 	binary.LittleEndian.PutUint32(buf[17:], uint32(m.e1.V))
 	// Bytes 21..28 are reserved (kept for layout stability).
-	return buf
+}
+
+// Batch framing (the message plane, see DESIGN.md): a transport payload
+// carries one or more protocol messages, each as a length-prefixed
+// record `len uint8 | record`. Every record is currently opMsgLen bytes;
+// the prefix keeps the frame self-describing so record layouts can grow
+// without a flag day.
+
+// appendOpMsg appends one framed record to a batch buffer.
+func appendOpMsg(buf []byte, m opMsg) []byte {
+	var rec [opMsgLen]byte
+	m.encodeInto(rec[:])
+	buf = append(buf, byte(opMsgLen))
+	return append(buf, rec[:]...)
+}
+
+// forEachOpMsg decodes a batch payload record by record, stopping at the
+// first decode or handler error.
+func forEachOpMsg(data []byte, fn func(opMsg) error) error {
+	for off := 0; off < len(data); {
+		rl := int(data[off])
+		off++
+		if rl == 0 || off+rl > len(data) {
+			return fmt.Errorf("core: truncated message batch at byte %d", off-1)
+		}
+		m, err := decodeOpMsg(data[off : off+rl])
+		if err != nil {
+			return err
+		}
+		off += rl
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // decodeOpMsg parses an engine payload.

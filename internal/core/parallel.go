@@ -45,13 +45,21 @@ type Config struct {
 	// for benchmark runs that only need timing and counters.
 	SkipResult bool
 	// CheckInvariants runs the engine under the invariant sanitizer (see
-	// sanitize.go): after every step, each rank re-verifies simplicity,
-	// ownership and Fenwick consistency of its partition, and all ranks
-	// jointly re-verify the global degree sequence and edge count against
-	// the pre-switching baseline. The reassembled result graph is checked
-	// too. Costs O(n + m/p) work plus one O(n) allreduce per step; meant
-	// for tests and checked production runs, off by default.
+	// sanitize.go and stepsync.go): at every step boundary, each rank
+	// re-verifies simplicity, ownership and Fenwick consistency of its
+	// partition, and all ranks jointly verify degree conservation through
+	// sparse deltas folded into the step-boundary exchange (no extra
+	// collective); the full degree sequence is re-checked against the
+	// pre-switching baseline once at the end of the run, as is the
+	// reassembled result graph. Costs O(n + m/p) work per step plus two
+	// O(n) allreduces per run; meant for tests and checked production
+	// runs, off by default.
 	CheckInvariants bool
+	// DisableBatching turns off the message plane's per-destination
+	// coalescing (see sendbuf.go), sending every protocol message as its
+	// own transport payload. For benchmarks and tests quantifying the
+	// batching win; leave off otherwise.
+	DisableBatching bool
 }
 
 // Result reports a parallel run.
@@ -192,7 +200,7 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 		stepSize = t
 	}
 
-	eng, err := newRankEngine(c, pt, g.N(), g.M(), local, cfg.Seed, cfg.CheckInvariants)
+	eng, err := newRankEngine(c, pt, g.N(), g.M(), local, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -262,18 +270,9 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 	if c.Rank() != 0 {
 		return nil, nil
 	}
-	out := graph.New(g.N())
-	rnd := rng.Split(cfg.Seed, 1<<21)
-	for _, pb := range parts {
-		fes, err := parseEdges(pb)
-		if err != nil {
-			return nil, err
-		}
-		for _, fe := range fes {
-			if !addFlagged(out, fe.e, fe.orig, rnd) {
-				return nil, fmt.Errorf("core: reassembly found duplicate edge %v", fe.e)
-			}
-		}
+	out, err := reassemble(g.N(), parts, cfg.Seed)
+	if err != nil {
+		return nil, err
 	}
 	if out.M() != g.M() {
 		return nil, fmt.Errorf("core: edge count changed: %d -> %d", g.M(), out.M())
@@ -328,11 +327,4 @@ func putU32(b []byte, v uint32) {
 
 func getU32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
-}
-
-func addFlagged(g *graph.Graph, e graph.Edge, orig bool, r *rng.RNG) bool {
-	if orig {
-		return g.AddEdge(e, r)
-	}
-	return g.AddModified(e, r)
 }

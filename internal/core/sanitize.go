@@ -276,11 +276,15 @@ func (e *rankEngine) sanitizeLocal() []Violation {
 	return vs.list
 }
 
-// sanitizeStep runs the full invariant suite at a step boundary: the
-// local structural scan plus a global degree-sequence and edge-count
+// verifyBaseline runs the full invariant suite at the end of the run:
+// the local structural scan plus a global degree-sequence and edge-count
 // comparison against the recorded baseline (one O(n) allreduce that all
-// ranks enter symmetrically; only checked runs pay for it).
-func (e *rankEngine) sanitizeStep() error {
+// ranks enter symmetrically). Step boundaries are covered by the sparse
+// delta check fused into stepExchange (see stepsync.go); this full pass
+// backstops it once per run, catching the final step's deltas and any
+// drift the delta bookkeeping itself could miss (a mutation path that
+// bypasses noteDegree).
+func (e *rankEngine) verifyBaseline() error {
 	vs := e.sanitizeLocal()
 	vec := append(e.localDegrees(), e.deg.Total())
 	glob, err := e.c.AllreduceInt64s(vec, mpi.OpSum)

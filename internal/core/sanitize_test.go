@@ -186,8 +186,9 @@ func flatten(parts [][]graph.Edge) []graph.Edge {
 }
 
 // TestEngineSanitizerDetectsDroppedEdge corrupts a live engine (discard
-// an owned edge after the baseline is recorded) and asserts the per-step
-// sanitizer catches the drift with an actionable error.
+// an owned edge after the baseline is recorded) and asserts both the
+// sparse per-step delta check and the end-of-run full pass catch the
+// drift with an actionable error.
 func TestEngineSanitizerDetectsDroppedEdge(t *testing.T) {
 	g, err := gen.ErdosRenyi(rng.New(44), 60, 240)
 	if err != nil {
@@ -198,25 +199,36 @@ func TestEngineSanitizerDetectsDroppedEdge(t *testing.T) {
 	if err := eng.recordBaseline(); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.sanitizeStep(); err != nil {
+	if _, err := eng.stepExchange(); err != nil {
 		t.Fatalf("clean engine flagged: %v", err)
 	}
 	e := eng.takeRandomEdge()
 	if err := eng.discard(e); err != nil {
 		t.Fatal(err)
 	}
-	err = eng.sanitizeStep()
+	_, err = eng.stepExchange()
 	if err == nil {
-		t.Fatal("dropped edge not detected")
+		t.Fatal("dropped edge not detected by the step exchange")
 	}
 	msg := err.Error()
+	if !strings.Contains(msg, string(VEdgeCount)) || !strings.Contains(msg, string(VDegreeDrift)) {
+		t.Fatalf("error %q should report %s and %s", msg, VEdgeCount, VDegreeDrift)
+	}
+	// The full end-of-run pass recomputes degrees from the adjacency
+	// itself (no delta bookkeeping) and must agree.
+	err = eng.verifyBaseline()
+	if err == nil {
+		t.Fatal("dropped edge not detected by the full baseline pass")
+	}
+	msg = err.Error()
 	if !strings.Contains(msg, string(VEdgeCount)) || !strings.Contains(msg, string(VDegreeDrift)) {
 		t.Fatalf("error %q should report %s and %s", msg, VEdgeCount, VDegreeDrift)
 	}
 }
 
 // TestEngineSanitizerCleanAfterSwitches: an in-flight reinsert round trip
-// leaves the engine clean.
+// leaves the engine clean (the deltas cancel, so the sparse payload is
+// empty again).
 func TestEngineSanitizerCleanAfterSwitches(t *testing.T) {
 	g, err := gen.ErdosRenyi(rng.New(45), 60, 240)
 	if err != nil {
@@ -233,7 +245,14 @@ func TestEngineSanitizerCleanAfterSwitches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := eng.sanitizeStep(); err != nil {
+	counts, err := eng.stepExchange()
+	if err != nil {
 		t.Fatalf("round-tripped engine flagged: %v", err)
+	}
+	if len(counts) != 1 || counts[0] != g.M() {
+		t.Fatalf("step exchange counts %v, want [%d]", counts, g.M())
+	}
+	if err := eng.verifyBaseline(); err != nil {
+		t.Fatalf("round-tripped engine flagged by full pass: %v", err)
 	}
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+
+	"edgeswitch/internal/mpi"
+)
+
+// The batching message plane: the conversation protocol produces many
+// tiny (tens of bytes) messages, and per-message transport sends
+// dominated engine overhead at higher rank counts — mailbox locking on
+// the mem transport, one frame write per message on TCP. sendBuffer
+// coalesces all protocol messages bound for the same destination rank
+// into a single framed payload (see appendOpMsg), flushed at the points
+// where the step loop can block; a step's worth of conversation traffic
+// to a rank then costs one transport send instead of one per message.
+
+// batchPool recycles batch buffers: the sender draws an encode buffer
+// here, ownership moves to the receiver with mpi SendOwned, and the
+// receiver returns the buffer after dispatching its records. TCP-path
+// receive allocations feed the pool the same way.
+var batchPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// maxPooledBatch caps the capacity of recycled buffers so a one-off
+// jumbo batch does not pin memory for the rest of the run.
+const maxPooledBatch = 1 << 20
+
+func getBatchBuf() []byte {
+	return batchPool.Get().([]byte)[:0]
+}
+
+// putBatchBuf recycles a buffer the caller has finished reading.
+func putBatchBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBatch {
+		return
+	}
+	batchPool.Put(b[:0])
+}
+
+// sendBuffer coalesces one rank's outbound protocol messages per
+// destination. It is not safe for concurrent use; each rank engine owns
+// exactly one.
+type sendBuffer struct {
+	c    *mpi.Comm
+	bufs [][]byte // indexed by destination rank; nil/empty when idle
+}
+
+func (sb *sendBuffer) init(c *mpi.Comm) {
+	sb.c = c
+	sb.bufs = make([][]byte, c.Size())
+}
+
+// add queues m for dst. Messages to one destination are delivered in
+// add order within and across batches (the transports are FIFO per
+// (src,dst) pair), so coalescing preserves the protocol's ordering
+// assumptions.
+func (sb *sendBuffer) add(dst int, m opMsg) {
+	if sb.bufs[dst] == nil {
+		sb.bufs[dst] = getBatchBuf()
+	}
+	sb.bufs[dst] = appendOpMsg(sb.bufs[dst], m)
+}
+
+// flushDst hands dst's pending batch to the transport, transferring
+// buffer ownership to the receiver.
+func (sb *sendBuffer) flushDst(dst int) error {
+	b := sb.bufs[dst]
+	if len(b) == 0 {
+		return nil
+	}
+	sb.bufs[dst] = nil
+	return sb.c.SendOwned(dst, opTag, b)
+}
+
+// flush sends every pending batch.
+func (sb *sendBuffer) flush() error {
+	for dst, b := range sb.bufs {
+		if len(b) == 0 {
+			continue
+		}
+		sb.bufs[dst] = nil
+		if err := sb.c.SendOwned(dst, opTag, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pendingBytes reports queued-but-unflushed bytes (step-invariant
+// diagnostics: a step must end fully flushed).
+func (sb *sendBuffer) pendingBytes() int {
+	n := 0
+	for _, b := range sb.bufs {
+		n += len(b)
+	}
+	return n
+}

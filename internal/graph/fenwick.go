@@ -17,6 +17,22 @@ func NewFenwick(n int) *Fenwick {
 	return &Fenwick{tree: make([]int64, n+1)}
 }
 
+// NewFenwickFrom bulk-builds a tree over the given initial weights in
+// O(n), against O(n log n) for n individual Adds. Used by Graph.Reindex
+// after a sharded bulk load.
+func NewFenwickFrom(vals []int64) *Fenwick {
+	f := &Fenwick{tree: make([]int64, len(vals)+1)}
+	for i, v := range vals {
+		f.total += v
+		j := i + 1
+		f.tree[j] += v
+		if parent := j + (j & -j); parent < len(f.tree) {
+			f.tree[parent] += f.tree[j]
+		}
+	}
+	return f
+}
+
 // Len reports the number of slots.
 func (f *Fenwick) Len() int { return len(f.tree) - 1 }
 

@@ -125,6 +125,34 @@ func (g *Graph) AddModified(e Edge, r randSource) bool {
 	return g.insert(e, false, r)
 }
 
+// InsertUnindexed inserts a normalized edge into U's adjacency set only,
+// leaving the Fenwick degree index and the edge/original counters stale.
+// It is the sharded bulk-load primitive: callers that partition the
+// vertex space (each U value touched by exactly one goroutine) may call
+// it concurrently, then call Reindex once after every shard finishes.
+// The caller must pass a normalized (U < V), in-range edge; duplicates
+// are reported with false, as with AddEdge.
+func (g *Graph) InsertUnindexed(e Edge, original bool, prio uint32) bool {
+	return g.adj[e.U].Insert(e.V, original, prio)
+}
+
+// Reindex rebuilds the Fenwick degree index and the edge and original
+// counters from the adjacency sets in O(n), completing a bulk load done
+// through InsertUnindexed.
+func (g *Graph) Reindex() {
+	vals := make([]int64, g.n)
+	var m, origs int64
+	for u := range g.adj {
+		l := int64(g.adj[u].Len())
+		vals[u] = l
+		m += l
+		origs += int64(g.adj[u].Originals())
+	}
+	g.deg = NewFenwickFrom(vals)
+	g.m = m
+	g.originals = origs
+}
+
 // RemoveEdge deletes edge e. It reports whether the edge existed and
 // whether it was an original edge.
 func (g *Graph) RemoveEdge(e Edge) (found, original bool) {

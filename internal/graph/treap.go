@@ -11,6 +11,10 @@ package graph
 // are modified (§3.1 of the paper).
 type AdjSet struct {
 	root *treapNode
+	// origs counts entries whose original flag is set, maintained by
+	// Insert/Delete so Graph.Reindex can rebuild the graph-level original
+	// counter in O(1) per vertex after a sharded bulk build.
+	origs int32
 }
 
 type treapNode struct {
@@ -32,6 +36,9 @@ func (n *treapNode) update() { n.size = 1 + size(n.left) + size(n.right) }
 
 // Len reports the number of entries in the set.
 func (s *AdjSet) Len() int { return int(size(s.root)) }
+
+// Originals reports how many entries still carry the original flag.
+func (s *AdjSet) Originals() int { return int(s.origs) }
 
 // Contains reports whether v is in the set.
 func (s *AdjSet) Contains(v Vertex) bool {
@@ -98,6 +105,9 @@ func (s *AdjSet) Insert(v Vertex, original bool, prio uint32) bool {
 	nn := &treapNode{key: v, prio: prio, size: 1, original: original}
 	l, rsub := split(s.root, v)
 	s.root = merge(merge(l, nn), rsub)
+	if original {
+		s.origs++
+	}
 	return true
 }
 
@@ -122,6 +132,9 @@ func (s *AdjSet) Delete(v Vertex) (found, original bool) {
 		return n
 	}
 	s.root = del(s.root)
+	if found && original {
+		s.origs--
+	}
 	return found, original
 }
 

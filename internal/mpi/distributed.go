@@ -103,6 +103,10 @@ func dialDist(rank int, addr string, box *mailbox, timeout time.Duration) (*dist
 	deadline := time.Now().Add(timeout)
 	var conn net.Conn
 	var err error
+	// Retry with exponential backoff through a timer wait: the first retry
+	// comes after 1ms (fast startup when the coordinator is nearly up),
+	// doubling to a 64ms cap so a missing coordinator isn't hammered.
+	backoff := time.Millisecond
 	for {
 		conn, err = net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
@@ -111,7 +115,11 @@ func dialDist(rank int, addr string, box *mailbox, timeout time.Duration) (*dist
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("mpi: dialing coordinator %s: %w", addr, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		t := time.NewTimer(backoff)
+		<-t.C
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
@@ -172,23 +180,22 @@ type distHub struct {
 	ln      net.Listener
 	size    int
 	mu      sync.Mutex
+	joined  *sync.Cond // broadcast on writer registration and on shutdown
 	writers []*hubWriter
+	closed  bool
 	wg      sync.WaitGroup
 	once    sync.Once
 }
 
-// writerFor returns rank's writer, waiting for it to join if necessary
-// (nil after shutdown).
+// writerFor returns rank's writer, blocking on the join condition until
+// the rank registers. It returns nil if the hub shuts down first.
 func (h *distHub) writerFor(rank int) *hubWriter {
-	for {
-		h.mu.Lock()
-		hw := h.writers[rank]
-		h.mu.Unlock()
-		if hw != nil {
-			return hw
-		}
-		time.Sleep(5 * time.Millisecond)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.writers[rank] == nil && !h.closed {
+		h.joined.Wait()
 	}
+	return h.writers[rank]
 }
 
 func newDistHub(addr string, size int) (*distHub, error) {
@@ -197,6 +204,7 @@ func newDistHub(addr string, size int) (*distHub, error) {
 		return nil, fmt.Errorf("mpi: coordinator listen on %s: %w", addr, err)
 	}
 	h := &distHub{ln: ln, size: size, writers: make([]*hubWriter, size)}
+	h.joined = sync.NewCond(&h.mu)
 	h.wg.Add(1)
 	go func() {
 		defer h.wg.Done()
@@ -225,6 +233,7 @@ func (h *distHub) accept() {
 		}
 		hw := newHubWriter()
 		h.writers[rank] = hw
+		h.joined.Broadcast()
 		h.mu.Unlock()
 		h.wg.Add(2)
 		go func(conn net.Conn) {
@@ -252,7 +261,11 @@ func (h *distHub) route(conn net.Conn, src int) {
 		}
 		binary.LittleEndian.PutUint32(frame[0:], uint32(src))
 		// writerFor blocks until the destination joins (startup only).
-		h.writerFor(peer).push(frame)
+		hw := h.writerFor(peer)
+		if hw == nil {
+			return // hub shut down before the destination joined
+		}
+		hw.push(frame)
 	}
 }
 
@@ -263,11 +276,13 @@ func (h *distHub) stop() error {
 			err = fmt.Errorf("mpi: closing coordinator listener: %w", cerr)
 		}
 		h.mu.Lock()
+		h.closed = true
 		for _, hw := range h.writers {
 			if hw != nil {
 				hw.close()
 			}
 		}
+		h.joined.Broadcast()
 		h.mu.Unlock()
 	})
 	return err

@@ -23,6 +23,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // AnySource matches messages from any rank in Recv/TryRecv.
@@ -61,6 +62,12 @@ type World struct {
 	transport Transport
 	started   bool
 	mu        sync.Mutex
+
+	// Transport counters (see Stats): every payload handed to the
+	// transport counts once, whatever its size — a coalesced batch is one
+	// send. Benchmarks use the counters to assert batching reductions.
+	sends     atomic.Int64
+	sendBytes atomic.Int64
 }
 
 // Option configures a World.
@@ -98,6 +105,29 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 
 // Size reports the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// CommStats is a snapshot of a world's transport counters, aggregated
+// over all ranks since the world was created. Sends counts payloads
+// handed to the transport (a coalesced batch of protocol messages counts
+// once); Bytes sums their payload lengths (excluding per-transport frame
+// headers). Collectives is only set by Comm.Stats and reports how many
+// collective operations that rank has entered.
+type CommStats struct {
+	Sends       int64
+	Bytes       int64
+	Collectives int64
+}
+
+// Stats snapshots the world's transport counters.
+func (w *World) Stats() CommStats {
+	return CommStats{Sends: w.sends.Load(), Bytes: w.sendBytes.Load()}
+}
+
+// countSend records one transport send of n payload bytes.
+func (w *World) countSend(n int) {
+	w.sends.Add(1)
+	w.sendBytes.Add(int64(n))
+}
 
 // Run executes body once per rank, each in its own goroutine, and waits
 // for all of them. It returns the first non-nil error (a rank panic is
@@ -183,6 +213,7 @@ func (c *Comm) SendOwned(dst, tag int, data []byte) error {
 	if tag < 0 || tag >= collTagBase {
 		return fmt.Errorf("mpi: application tag %d out of range [0,%d)", tag, collTagBase)
 	}
+	c.world.countSend(len(data))
 	return c.world.transport.send(c.rank, dst, tag, data)
 }
 
@@ -190,7 +221,16 @@ func (c *Comm) SendOwned(dst, tag int, data []byte) error {
 func (c *Comm) send(dst, tag int, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	c.world.countSend(len(cp))
 	return c.world.transport.send(c.rank, dst, tag, cp)
+}
+
+// Stats snapshots the world's transport counters plus this rank's
+// collective count.
+func (c *Comm) Stats() CommStats {
+	st := c.world.Stats()
+	st.Collectives = int64(c.collSeq)
+	return st
 }
 
 // Recv blocks until a message matching (src, tag) arrives. Use AnySource

@@ -74,31 +74,26 @@ func (hw *hubWriter) close() {
 	hw.cond.Signal()
 }
 
-// drain runs until close, writing queued frames to w.
+// drain runs until close, writing queued frames to w. Each wakeup takes
+// the whole queue and hands it to the connection as one vectored write
+// (writev(2) when w is a *net.TCPConn), so a burst of frames costs one
+// syscall instead of one write per frame.
 func (hw *hubWriter) drain(w io.Writer) {
-	bw := bufio.NewWriterSize(w, 1<<16)
 	for {
 		hw.mu.Lock()
 		for len(hw.queue) == 0 && !hw.done {
-			hw.mu.Unlock()
-			bw.Flush() // opportunistic flush while idle
-			hw.mu.Lock()
-			if len(hw.queue) == 0 && !hw.done {
-				hw.cond.Wait()
-			}
+			hw.cond.Wait()
 		}
 		if len(hw.queue) == 0 && hw.done {
 			hw.mu.Unlock()
-			bw.Flush()
 			return
 		}
 		batch := hw.queue
 		hw.queue = nil
 		hw.mu.Unlock()
-		for _, f := range batch {
-			if _, err := bw.Write(f); err != nil {
-				return
-			}
+		bufs := net.Buffers(batch)
+		if _, err := bufs.WriteTo(w); err != nil {
+			return
 		}
 	}
 }
