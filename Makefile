@@ -7,9 +7,9 @@ GO ?= go
 # slower and adds nothing — everything else is single-goroutine).
 RACE_PKGS := ./internal/mpi/... ./internal/core/...
 
-.PHONY: check build vet esvet test race bench benchsmoke clean
+.PHONY: check build vet esvet test race racedist bench benchsmoke clean
 
-check: build vet esvet test race
+check: build vet esvet test race racedist
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ test:
 
 race:
 	$(GO) test -race -timeout 20m $(RACE_PKGS)
+
+# Multi-process distributed leg: drives the real ProcWorld/esworker path
+# across genuine OS processes (helper-process pattern in main_test.go),
+# with the race detector on in every process.
+racedist:
+	$(GO) test -race -timeout 10m ./cmd/esworker/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

@@ -26,6 +26,7 @@ import (
 
 	"edgeswitch"
 	"edgeswitch/internal/core"
+	"edgeswitch/internal/graph"
 	"edgeswitch/internal/mpi"
 )
 
@@ -43,16 +44,17 @@ func main() {
 		outPath   = flag.String("out", "", "rank 0 writes the switched graph here")
 		spawn     = flag.Bool("spawn", false, "rank 0 spawns ranks 1..size-1 as local child processes")
 		timeout   = flag.Duration("timeout", 30*time.Second, "coordinator dial timeout")
+		writeTO   = flag.Duration("write-timeout", 30*time.Second, "transport write deadline (a dead peer surfaces within this)")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *size, *rank, *coord, *tOps, *x, *scheme, *steps, *seed, *outPath, *spawn, *timeout); err != nil {
+	if err := run(*graphPath, *size, *rank, *coord, *tOps, *x, *scheme, *steps, *seed, *outPath, *spawn, *timeout, *writeTO); err != nil {
 		fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", *rank, err)
 		os.Exit(1)
 	}
 }
 
 func run(graphPath string, size, rank int, coord string, tOps int64, x float64,
-	scheme string, steps int64, seed uint64, outPath string, spawn bool, timeout time.Duration) error {
+	scheme string, steps int64, seed uint64, outPath string, spawn bool, timeout, writeTO time.Duration) error {
 
 	if graphPath == "" {
 		return fmt.Errorf("need -graph FILE")
@@ -75,36 +77,92 @@ func run(graphPath string, size, rank int, coord string, tOps int64, x float64,
 
 	var children []*exec.Cmd
 	if spawn && rank == 0 {
-		exe, err := os.Executable()
+		children, err = spawnChildren(graphPath, size, coord, t, scheme, steps, seed, timeout)
 		if err != nil {
+			_ = reapChildren(children, true)
 			return err
 		}
-		for r := 1; r < size; r++ {
-			cmd := exec.Command(exe,
-				"-graph", graphPath,
-				"-size", strconv.Itoa(size),
-				"-rank", strconv.Itoa(r),
-				"-coordinator", coord,
-				"-t", strconv.FormatInt(t, 10),
-				"-scheme", scheme,
-				"-steps", strconv.FormatInt(steps, 10),
-				"-seed", strconv.FormatUint(seed, 10),
-				"-timeout", timeout.String(),
-			)
-			cmd.Stdout = os.Stdout
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
-				return fmt.Errorf("spawning rank %d: %w", r, err)
-			}
-			children = append(children, cmd)
+	}
+	if err := runRank(g, size, rank, coord, t, scheme, stepSize, seed, outPath, timeout, writeTO); err != nil {
+		// Rank 0 failed (bad join, lost peer, ...): kill and reap the
+		// spawned ranks instead of orphaning them, and report our error —
+		// it is the cause, the children's exits are consequences.
+		_ = reapChildren(children, true)
+		return err
+	}
+	// Rank 0 succeeded; a child may still have failed on its own (its
+	// stderr went to ours). Report the first such failure.
+	return reapChildren(children, false)
+}
+
+// spawnChildren starts ranks 1..size-1 as local processes running this
+// executable. On a start failure it returns the children started so far
+// alongside the error, so the caller can reap them.
+func spawnChildren(graphPath string, size int, coord string, t int64,
+	scheme string, steps int64, seed uint64, timeout time.Duration) ([]*exec.Cmd, error) {
+
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	var children []*exec.Cmd
+	for r := 1; r < size; r++ {
+		cmd := exec.Command(exe,
+			"-graph", graphPath,
+			"-size", strconv.Itoa(size),
+			"-rank", strconv.Itoa(r),
+			"-coordinator", coord,
+			"-t", strconv.FormatInt(t, 10),
+			"-scheme", scheme,
+			"-steps", strconv.FormatInt(steps, 10),
+			"-seed", strconv.FormatUint(seed, 10),
+			"-timeout", timeout.String(),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return children, fmt.Errorf("spawning rank %d: %w", r, err)
+		}
+		children = append(children, cmd)
+	}
+	return children, nil
+}
+
+// reapChildren waits for every spawned rank. With kill set it terminates
+// them first (the rank-0 failure path: children must not be orphaned) and
+// their exit statuses are not reported — the caller already holds the
+// root cause. Without kill it reports the first child failure.
+func reapChildren(children []*exec.Cmd, kill bool) error {
+	if kill {
+		for _, cmd := range children {
+			_ = cmd.Process.Kill()
 		}
 	}
+	var firstErr error
+	for i, cmd := range children {
+		if err := cmd.Wait(); err != nil && !kill && firstErr == nil {
+			firstErr = fmt.Errorf("child rank %d failed: %w", i+1, err)
+		}
+	}
+	return firstErr
+}
 
-	pw, err := mpi.JoinDistributed(rank, size, coord, timeout)
+// runRank joins the distributed world, runs this rank, and (on rank 0)
+// reports and saves the result.
+func runRank(g *graph.Graph, size, rank int, coord string, t int64, scheme string,
+	stepSize int64, seed uint64, outPath string, timeout, writeTO time.Duration) (err error) {
+
+	pw, err := mpi.JoinDistributed(rank, size, coord, timeout, mpi.WithWriteTimeout(writeTO))
 	if err != nil {
 		return err
 	}
-	defer pw.Close()
+	defer func() {
+		// Teardown surfaces transport faults recorded while the world was
+		// live; do not let them mask the run's own error.
+		if cerr := pw.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	var res *core.Result
 	err = pw.Run(func(c *mpi.Comm) error {
@@ -136,11 +194,6 @@ func run(graphPath string, size, rank int, coord string, tOps int64, x float64,
 				return err
 			}
 			fmt.Printf("wrote %s\n", outPath)
-		}
-	}
-	for _, cmd := range children {
-		if err := cmd.Wait(); err != nil {
-			return fmt.Errorf("child rank failed: %w", err)
 		}
 	}
 	return nil

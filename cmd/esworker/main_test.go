@@ -1,13 +1,46 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"net"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
 )
+
+// TestMain doubles as the worker entry point for the multi-process tests:
+// when ESWORKER_TEST_RANK is set, the test binary behaves as one esworker
+// rank instead of running the test suite. This drives the real ProcWorld
+// path across genuine OS processes (the -spawn code path uses
+// os.Executable, which inside `go test` is the test binary itself, so the
+// helper-process pattern is the faithful way to multi-process coverage).
+func TestMain(m *testing.M) {
+	if r := os.Getenv("ESWORKER_TEST_RANK"); r != "" {
+		rank, err := strconv.Atoi(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		size, err := strconv.Atoi(os.Getenv("ESWORKER_TEST_SIZE"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = run(os.Getenv("ESWORKER_TEST_GRAPH"), size, rank, os.Getenv("ESWORKER_TEST_COORD"),
+			30, 1, "HP-D", 3, 9, "", false, 10*time.Second, 10*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", rank, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func freePort(t *testing.T) string {
 	t.Helper()
@@ -33,7 +66,7 @@ func writeTestGraph(t *testing.T) string {
 func TestRunSingleRank(t *testing.T) {
 	g := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "out.txt")
-	err := run(g, 1, 0, freePort(t), 20, 1, "CP", 1, 3, out, false, 5*time.Second)
+	err := run(g, 1, 0, freePort(t), 20, 1, "CP", 1, 3, out, false, 5*time.Second, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +88,7 @@ func TestRunMultiRankInProcess(t *testing.T) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = run(g, size, rank, addr, 30, 1, "HP-D", 3, 9, "", false, 10*time.Second)
+			errs[rank] = run(g, size, rank, addr, 30, 1, "HP-D", 3, 9, "", false, 10*time.Second, 10*time.Second)
 		}(rank)
 	}
 	wg.Wait()
@@ -66,11 +99,94 @@ func TestRunMultiRankInProcess(t *testing.T) {
 	}
 }
 
+// TestRunMultiProcess runs a full world across real OS processes: ranks
+// 1..2 are re-executions of the test binary (see TestMain), rank 0 runs
+// in-process. This is the CI leg for the multi-process ProcWorld path,
+// which the in-process race gate cannot cover.
+func TestRunMultiProcess(t *testing.T) {
+	g := writeTestGraph(t)
+	addr := freePort(t)
+	const size = 3
+	var children []*exec.Cmd
+	for rank := 1; rank < size; rank++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"ESWORKER_TEST_RANK="+strconv.Itoa(rank),
+			"ESWORKER_TEST_SIZE="+strconv.Itoa(size),
+			"ESWORKER_TEST_GRAPH="+g,
+			"ESWORKER_TEST_COORD="+addr,
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		children = append(children, cmd)
+	}
+	runErr := run(g, size, 0, addr, 30, 1, "HP-D", 3, 9, "", false, 20*time.Second, 10*time.Second)
+	reapErr := reapChildren(children, runErr != nil)
+	if runErr != nil {
+		t.Fatalf("rank 0: %v", runErr)
+	}
+	if reapErr != nil {
+		t.Fatalf("child: %v", reapErr)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("", 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second); err == nil {
+	if err := run("", 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
 		t.Fatal("missing graph accepted")
 	}
-	if err := run("/nonexistent/file.txt", 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second); err == nil {
+	if err := run("/nonexistent/file.txt", 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestReapChildrenKill covers the rank-0 failure path: children must be
+// terminated and waited on (no orphans), and their forced exits must not
+// produce an error that could mask the root cause.
+func TestReapChildrenKill(t *testing.T) {
+	var children []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command("sleep", "300")
+		if err := cmd.Start(); err != nil {
+			t.Skipf("cannot start sleep: %v", err)
+		}
+		children = append(children, cmd)
+	}
+	done := make(chan error, 1)
+	go func() { done <- reapChildren(children, true) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("kill-mode reap reported error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reapChildren(kill) did not reap 300s sleepers promptly: children leaked")
+	}
+	for _, cmd := range children {
+		if cmd.ProcessState == nil {
+			t.Fatal("child not waited on")
+		}
+	}
+}
+
+// TestReapChildrenReportsFailure covers the success path: rank 0 finished
+// cleanly but a child failed — the first child failure must surface.
+func TestReapChildrenReportsFailure(t *testing.T) {
+	ok := exec.Command("true")
+	bad := exec.Command("false")
+	for _, cmd := range []*exec.Cmd{ok, bad} {
+		if err := cmd.Start(); err != nil {
+			t.Skipf("cannot start %v: %v", cmd.Args, err)
+		}
+	}
+	err := reapChildren([]*exec.Cmd{ok, bad}, false)
+	if err == nil {
+		t.Fatal("child failure not reported")
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("want ExitError in chain, got %v", err)
 	}
 }

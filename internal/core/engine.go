@@ -221,20 +221,22 @@ func (e *rankEngine) run(t, stepSize int64) error {
 			return err
 		}
 	}
+	step := 0
 	for done := int64(0); done < t; done += stepSize {
+		step++
 		s := stepSize
 		if t-done < s {
 			s = t - done
 		}
 		counts, err := e.stepExchange()
 		if err != nil {
-			return err
+			return e.stepErr(step, "step exchange", err)
 		}
 		if err := e.prepareStep(s, counts); err != nil {
-			return err
+			return e.stepErr(step, "step preparation", err)
 		}
 		if err := e.stepLoop(); err != nil {
-			return err
+			return e.stepErr(step, "step loop", err)
 		}
 		if err := e.checkStepInvariants(); err != nil {
 			return err
@@ -244,6 +246,14 @@ func (e *rankEngine) run(t, stepSize int64) error {
 		return e.verifyBaseline()
 	}
 	return nil
+}
+
+// stepErr labels an error with the failing rank, step and phase. The %w
+// chain is preserved so transport faults stay matchable: a run aborted by
+// a lost peer satisfies errors.Is(err, mpi.ErrPeerLost) all the way up
+// through RunRank to cmd/esworker.
+func (e *rankEngine) stepErr(step int, phase string, err error) error {
+	return fmt.Errorf("core: rank %d, step %d (%s): %w", e.c.Rank(), step, phase, err)
 }
 
 // prepareStep rebuilds the selection prefix sums from the step-boundary

@@ -1,20 +1,30 @@
 package mpi
 
 import (
-	"encoding/binary"
+	"bufio"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Distributed operation: each OS process hosts exactly one rank. Rank 0
 // doubles as the coordinator — it runs the routing hub every peer dials,
-// using the same frame format and per-pair FIFO guarantees as the
-// in-process TCP transport. This is the fully distributed-memory mode:
-// ranks share nothing but the wire.
+// using the same checksummed frame format and per-pair FIFO guarantees as
+// the in-process TCP transport (see frame.go). This is the fully
+// distributed-memory mode: ranks share nothing but the wire.
+//
+// Failure semantics: every frame carries a CRC32C trailer and every join
+// a versioned handshake, so corruption and mixed binaries fail loudly at
+// the first bad frame instead of desynchronizing. When a member's
+// connection drops mid-run the hub broadcasts a FAULT control frame, so
+// every surviving rank's next (or currently blocked) Recv returns an
+// error wrapping ErrPeerLost instead of hanging; an orderly Close sends a
+// LEAVE frame first, which suppresses the fault. All socket writes carry
+// deadlines, so a peer that stopped reading surfaces as an error within
+// the write timeout rather than blocking forever.
 //
 // Typical use (see cmd/esworker):
 //
@@ -22,6 +32,27 @@ import (
 //	...
 //	err = pw.Run(func(c *Comm) error { ... })
 //	pw.Close()
+
+// handshakeTimeout bounds the hello/ack exchange on both sides: a stray
+// connection that never completes a handshake is dropped by the hub
+// without consuming a join slot, and a client whose coordinator dies
+// mid-handshake re-dials instead of blocking.
+const handshakeTimeout = 5 * time.Second
+
+// distConfig carries the tunables of a distributed membership.
+type distConfig struct {
+	writeTimeout time.Duration
+}
+
+// DistOption configures JoinDistributed.
+type DistOption func(*distConfig)
+
+// WithWriteTimeout bounds every socket write of this process's transport.
+// A dead peer (kernel buffers full, nobody reading) then surfaces as a
+// named error within d instead of blocking a send forever. Default 30s.
+func WithWriteTimeout(d time.Duration) DistOption {
+	return func(cfg *distConfig) { cfg.writeTimeout = d }
+}
 
 // ProcWorld is one process's membership in a distributed world.
 type ProcWorld struct {
@@ -33,11 +64,17 @@ type ProcWorld struct {
 
 // JoinDistributed connects this process to a distributed world of the
 // given size as the given rank. Rank 0 listens on addr and routes all
-// traffic; other ranks dial addr (retrying until the coordinator is up,
-// within timeout). All ranks must agree on size.
-func JoinDistributed(rank, size int, addr string, timeout time.Duration) (*ProcWorld, error) {
+// traffic; other ranks dial addr (retrying with backoff until the
+// coordinator is up — and re-dialing on transient mid-handshake failures
+// — within timeout). All ranks must agree on size; the versioned
+// handshake rejects a disagreeing or mismatched-binary joiner loudly.
+func JoinDistributed(rank, size int, addr string, timeout time.Duration, opts ...DistOption) (*ProcWorld, error) {
 	if size <= 0 || rank < 0 || rank >= size {
 		return nil, fmt.Errorf("mpi: invalid rank %d of %d", rank, size)
+	}
+	cfg := distConfig{writeTimeout: writeTimeout}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	pw := &ProcWorld{rank: rank, size: size, box: newMailbox()}
 	if rank == 0 {
@@ -47,7 +84,7 @@ func JoinDistributed(rank, size int, addr string, timeout time.Duration) (*ProcW
 		}
 		pw.hub = hub
 	}
-	client, err := dialDist(rank, addr, pw.box, timeout)
+	client, err := dialDist(rank, size, addr, pw.box, timeout, cfg.writeTimeout)
 	if err != nil {
 		if pw.hub != nil {
 			_ = pw.hub.stop() // the dial failure is the error worth reporting
@@ -74,7 +111,9 @@ func (pw *ProcWorld) Run(body func(c *Comm) error) error {
 }
 
 // Close tears down the connection (and the hub on rank 0). Call only
-// after all ranks have finished their exchanges.
+// after all ranks have finished their exchanges. The returned error joins
+// every fault recorded while the world was live (lost peers, failed hub
+// writers) with any teardown failure.
 func (pw *ProcWorld) Close() error {
 	pw.box.close()
 	var errs []error
@@ -93,24 +132,50 @@ func (pw *ProcWorld) Close() error {
 
 // distClient is the per-process transport: one connection to the hub.
 type distClient struct {
-	rank int
-	conn net.Conn
-	wmu  sync.Mutex
-	wg   sync.WaitGroup
+	rank         int
+	conn         net.Conn
+	box          *mailbox
+	writeTimeout time.Duration
+	wmu          sync.Mutex
+	wg           sync.WaitGroup
+	closing      atomic.Bool
+	faultCnt     atomic.Int64
 }
 
-func dialDist(rank int, addr string, box *mailbox, timeout time.Duration) (*distClient, error) {
+// testDialWrap, when non-nil, wraps every freshly handshaken client
+// connection. Fault-injection tests use it to interpose a faultConn (see
+// faultinject.go); production code never sets it.
+var testDialWrap func(rank int, conn net.Conn) net.Conn
+
+// dialDist establishes this rank's membership: dial, hello, ack. Both the
+// dial and the handshake retry with exponential backoff until the overall
+// deadline — the coordinator may not be up yet (connection refused), or
+// may die between accepting and acking (transient mid-handshake failure).
+// Only an explicit rejection by a live coordinator (ErrHandshake: version
+// mismatch, duplicate rank, size disagreement) is permanent and fails
+// immediately; retrying cannot change its mind.
+func dialDist(rank, size int, addr string, box *mailbox, timeout, wto time.Duration) (*distClient, error) {
 	deadline := time.Now().Add(timeout)
-	var conn net.Conn
-	var err error
-	// Retry with exponential backoff through a timer wait: the first retry
-	// comes after 1ms (fast startup when the coordinator is nearly up),
-	// doubling to a 64ms cap so a missing coordinator isn't hammered.
+	// The first retry comes after 1ms (fast startup when the coordinator
+	// is nearly up), doubling to a 64ms cap so a missing coordinator
+	// isn't hammered.
 	backoff := time.Millisecond
 	for {
-		conn, err = net.DialTimeout("tcp", addr, time.Second)
+		conn, err := dialOnce(rank, size, addr, deadline)
 		if err == nil {
-			break
+			c := &distClient{rank: rank, conn: conn, box: box, writeTimeout: wto}
+			if testDialWrap != nil {
+				c.conn = testDialWrap(rank, conn)
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.readLoop()
+			}()
+			return c, nil
+		}
+		if errors.Is(err, ErrHandshake) {
+			return nil, fmt.Errorf("mpi: joining coordinator %s: %w", addr, err)
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("mpi: dialing coordinator %s: %w", addr, err)
@@ -121,38 +186,81 @@ func dialDist(rank int, addr string, box *mailbox, timeout time.Duration) (*dist
 			backoff *= 2
 		}
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		_ = conn.Close() // surface the handshake failure, not the close
-		return nil, fmt.Errorf("mpi: distributed handshake: %w", err)
+}
+
+// dialOnce is one dial + handshake attempt under a bounded deadline.
+func dialOnce(rank, size int, addr string, deadline time.Time) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
 	}
-	c := &distClient{rank: rank, conn: conn}
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		readFrames(conn, func(src, tag int, payload []byte) {
-			box.put(Message{Src: src, Tag: tag, Data: payload})
-		})
-	}()
-	return c, nil
+	hd := time.Now().Add(handshakeTimeout)
+	if deadline.Before(hd) {
+		hd = deadline
+	}
+	_ = conn.SetDeadline(hd)
+	if err := writeHello(conn, size, rank); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("handshake write: %w", err)
+	}
+	if err := readAck(conn); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, nil
 }
 
 func (c *distClient) start(boxes []*mailbox) error { return nil }
 
+func (c *distClient) faults() int64 { return c.faultCnt.Load() }
+
+// readLoop deposits inbound frames into the mailbox. A FAULT control
+// frame — or an unexpected connection loss — fails the mailbox with
+// ErrPeerLost so every blocked receive returns a named error.
+func (c *distClient) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 1<<16)
+	for {
+		frame, peer, err := readFrame(br)
+		if err != nil {
+			if !c.closing.Load() {
+				c.faultCnt.Add(1)
+				c.box.fail(fmt.Errorf("%w: coordinator connection: %v", ErrPeerLost, err))
+			}
+			return
+		}
+		if tag := frameTag(frame); tag == wireTagFault {
+			c.faultCnt.Add(1)
+			c.box.fail(fmt.Errorf("%w: rank %d: %s", ErrPeerLost, peer, framePayload(frame)))
+			continue // keep draining; the loop ends when the conn closes
+		} else {
+			c.box.put(Message{Src: peer, Tag: tag, Data: framePayload(frame)})
+		}
+	}
+}
+
 func (c *distClient) send(src, dst, tag int, data []byte) error {
-	frame := make([]byte, frameHeader+len(data))
-	binary.LittleEndian.PutUint32(frame[0:], uint32(dst))
-	binary.LittleEndian.PutUint32(frame[4:], uint32(tag))
-	binary.LittleEndian.PutUint32(frame[8:], uint32(len(data)))
-	copy(frame[frameHeader:], data)
+	frame := encodeFrame(dst, tag, data)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	_, err := c.conn.Write(frame)
-	return err
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	if _, err := c.conn.Write(frame); err != nil {
+		return fmt.Errorf("%w: writing to coordinator: %v", ErrPeerLost, err)
+	}
+	return nil
 }
 
 func (c *distClient) stop() error {
+	if !c.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Best-effort orderly departure: the LEAVE frame tells the hub our
+	// imminent EOF is a clean exit, not a fault to broadcast.
+	leave := encodeFrame(c.rank, wireTagLeave, nil)
+	c.wmu.Lock()
+	_ = c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_, _ = c.conn.Write(leave)
+	c.wmu.Unlock()
 	err := c.conn.Close()
 	c.wg.Wait()
 	if err != nil {
@@ -161,30 +269,50 @@ func (c *distClient) stop() error {
 	return nil
 }
 
-// readFrames decodes frames from r until error/EOF, invoking fn per frame.
-func readFrames(r io.Reader, fn func(peer, tag int, payload []byte)) {
-	for {
-		frame, peer, err := readFrame(r)
-		if err != nil {
-			return
-		}
-		tag := int(int32(binary.LittleEndian.Uint32(frame[4:])))
-		payload := frame[frameHeader:]
-		fn(peer, tag, payload)
-	}
+// distHub is the coordinator-side router: identical routing discipline to
+// the in-process TCP transport's hub, plus the membership control plane
+// (handshake admission, LEAVE/FAULT bookkeeping).
+type distHub struct {
+	ln   net.Listener
+	size int
+
+	mu       sync.Mutex
+	joined   *sync.Cond   // broadcast on writer registration and on shutdown
+	writers  []*hubWriter // per-rank outbound queues; nil until joined
+	conns    []net.Conn   // per-rank hub-side connections
+	pending  []bool       // rank holds a join slot mid-handshake
+	departed []bool       // rank sent LEAVE; its EOF is clean
+	faulted  []bool       // rank's connection was declared lost
+	anyFault bool
+	errs     []error
+	closed   bool
+
+	faultCnt atomic.Int64
+	wg       sync.WaitGroup
+	once     sync.Once
 }
 
-// distHub is the coordinator-side router: identical routing discipline to
-// the in-process TCP transport's hub.
-type distHub struct {
-	ln      net.Listener
-	size    int
-	mu      sync.Mutex
-	joined  *sync.Cond // broadcast on writer registration and on shutdown
-	writers []*hubWriter
-	closed  bool
-	wg      sync.WaitGroup
-	once    sync.Once
+func newDistHub(addr string, size int) (*distHub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: coordinator listen on %s: %w", addr, err)
+	}
+	h := &distHub{
+		ln:       ln,
+		size:     size,
+		writers:  make([]*hubWriter, size),
+		conns:    make([]net.Conn, size),
+		pending:  make([]bool, size),
+		departed: make([]bool, size),
+		faulted:  make([]bool, size),
+	}
+	h.joined = sync.NewCond(&h.mu)
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		h.accept()
+	}()
+	return h, nil
 }
 
 // writerFor returns rank's writer, blocking on the join condition until
@@ -198,68 +326,129 @@ func (h *distHub) writerFor(rank int) *hubWriter {
 	return h.writers[rank]
 }
 
-func newDistHub(addr string, size int) (*distHub, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("mpi: coordinator listen on %s: %w", addr, err)
-	}
-	h := &distHub{ln: ln, size: size, writers: make([]*hubWriter, size)}
-	h.joined = sync.NewCond(&h.mu)
-	h.wg.Add(1)
-	go func() {
-		defer h.wg.Done()
-		h.accept()
-	}()
-	return h, nil
-}
-
+// accept admits connections until the listener closes. Each handshake
+// runs in its own goroutine under a deadline, so one stray connection
+// that never sends a hello cannot stall legitimate joiners.
 func (h *distHub) accept() {
-	for joined := 0; joined < h.size; joined++ {
+	for {
 		conn, err := h.ln.Accept()
 		if err != nil {
-			return
+			return // listener closed: shutdown
 		}
-		var hdr [4]byte
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			_ = conn.Close() // malformed handshake; nothing to report it to
-			return
-		}
-		rank := int(int32(binary.LittleEndian.Uint32(hdr[:])))
-		h.mu.Lock()
-		if rank < 0 || rank >= h.size || h.writers[rank] != nil {
-			h.mu.Unlock()
-			_ = conn.Close() // rejected join (bad or duplicate rank)
-			return
-		}
-		hw := newHubWriter()
-		h.writers[rank] = hw
-		h.joined.Broadcast()
-		h.mu.Unlock()
-		h.wg.Add(2)
+		h.wg.Add(1)
 		go func(conn net.Conn) {
 			defer h.wg.Done()
-			hw.drain(conn)
+			h.admit(conn)
 		}(conn)
-		go func(conn net.Conn, src int) {
-			defer h.wg.Done()
-			h.route(conn, src)
-		}(conn, rank)
 	}
+}
+
+// admit runs the hub half of the handshake. A bad hello — garbage bytes,
+// wrong magic or version, out-of-range or duplicate rank, disagreeing
+// world size — is answered (best-effort) and that connection closed; it
+// does NOT consume a join slot and does NOT stop the accept loop, so
+// stray connections can never lock legitimate ranks out of the world.
+func (h *distHub) admit(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	rank, status, err := readHello(conn, h.size)
+	if err != nil {
+		_ = conn.Close() // short or garbled hello; nothing to report it to
+		return
+	}
+	if status == joinOK {
+		h.mu.Lock()
+		switch {
+		case h.closed:
+			status = joinClosed
+		case h.writers[rank] != nil || h.pending[rank]:
+			status = joinDupRank
+		default:
+			h.pending[rank] = true
+		}
+		h.mu.Unlock()
+	}
+	if status != joinOK {
+		_ = writeAck(conn, status)
+		_ = conn.Close()
+		return
+	}
+	if err := writeAck(conn, joinOK); err != nil {
+		// The joiner died mid-handshake: release the slot so it can retry.
+		h.mu.Lock()
+		h.pending[rank] = false
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	hw := newHubWriter()
+	h.mu.Lock()
+	h.pending[rank] = false
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	h.writers[rank] = hw
+	h.conns[rank] = conn
+	if h.anyFault {
+		// The world already lost a member: tell the newcomer immediately
+		// so it cannot block forever on traffic that will never come.
+		for r, f := range h.faulted {
+			if f {
+				hw.push(encodeFaultFrame(r, "rank lost before this rank joined"))
+			}
+		}
+	}
+	h.joined.Broadcast()
+	h.mu.Unlock()
+	h.wg.Add(2)
+	go func() {
+		defer h.wg.Done()
+		hw.drain(conn)
+		if err := hw.error(); err != nil {
+			h.fault(rank, err)
+		}
+	}()
+	go func() {
+		defer h.wg.Done()
+		h.route(conn, rank)
+	}()
 }
 
 // route forwards frames from src to their destination writers. Frames to
 // a destination that has not joined yet are held until it does (the
-// barrier-free startup case).
+// barrier-free startup case). Any read failure — EOF, reset, checksum
+// mismatch, malformed routing — while src has neither departed nor the
+// hub shut down declares src lost (see fault).
 func (h *distHub) route(conn net.Conn, src int) {
+	br := bufio.NewReaderSize(conn, 1<<16)
 	for {
-		frame, peer, err := readFrame(conn)
+		frame, peer, err := readFrame(br)
 		if err != nil {
+			h.mu.Lock()
+			clean := h.closed || h.departed[src]
+			h.mu.Unlock()
+			if !clean {
+				h.fault(src, err)
+			}
+			return
+		}
+		if tag := frameTag(frame); tag < 0 {
+			if tag == wireTagLeave {
+				h.mu.Lock()
+				h.departed[src] = true
+				h.mu.Unlock()
+				continue
+			}
+			h.fault(src, fmt.Errorf("sent reserved control tag %d", tag))
 			return
 		}
 		if peer < 0 || peer >= h.size {
+			h.fault(src, fmt.Errorf("addressed invalid rank %d", peer))
 			return
 		}
-		binary.LittleEndian.PutUint32(frame[0:], uint32(src))
+		putFramePeer(frame, src)
 		// writerFor blocks until the destination joins (startup only).
 		hw := h.writerFor(peer)
 		if hw == nil {
@@ -269,21 +458,63 @@ func (h *distHub) route(conn net.Conn, src int) {
 	}
 }
 
-func (h *distHub) stop() error {
-	var err error
-	h.once.Do(func() {
-		if cerr := h.ln.Close(); cerr != nil {
-			err = fmt.Errorf("mpi: closing coordinator listener: %w", cerr)
+// fault declares rank lost: records the error, broadcasts a FAULT control
+// frame to every other member (so their blocked receives abort with
+// ErrPeerLost instead of hanging), kills the dead rank's writer (so
+// frames addressed to it are dropped, not queued forever) and severs its
+// connection. Idempotent per rank; a no-op during orderly shutdown.
+func (h *distHub) fault(rank int, err error) {
+	h.mu.Lock()
+	if h.closed || h.faulted[rank] || h.departed[rank] {
+		h.mu.Unlock()
+		return
+	}
+	h.faulted[rank] = true
+	h.anyFault = true
+	h.errs = append(h.errs, fmt.Errorf("%w: rank %d: %v", ErrPeerLost, rank, err))
+	h.faultCnt.Add(1)
+	frame := encodeFaultFrame(rank, err.Error())
+	for r, hw := range h.writers {
+		if hw != nil && r != rank {
+			hw.push(frame)
 		}
+	}
+	if hw := h.writers[rank]; hw != nil {
+		hw.fail(fmt.Errorf("mpi: rank %d lost: %w", rank, err))
+	}
+	conn := h.conns[rank]
+	h.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close() // unblock the route reader
+	}
+}
+
+// stop shuts the hub down and reports every fault recorded while the
+// world was live, joined with any teardown failure.
+func (h *distHub) stop() error {
+	var errs []error
+	h.once.Do(func() {
 		h.mu.Lock()
 		h.closed = true
-		for _, hw := range h.writers {
+		errs = append(errs, h.errs...)
+		writers := append([]*hubWriter(nil), h.writers...)
+		conns := append([]net.Conn(nil), h.conns...)
+		h.joined.Broadcast()
+		h.mu.Unlock()
+		if cerr := h.ln.Close(); cerr != nil {
+			errs = append(errs, fmt.Errorf("mpi: closing coordinator listener: %w", cerr))
+		}
+		for _, hw := range writers {
 			if hw != nil {
 				hw.close()
 			}
 		}
-		h.joined.Broadcast()
-		h.mu.Unlock()
+		for _, c := range conns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+		h.wg.Wait()
 	})
-	return err
+	return errors.Join(errs...)
 }

@@ -19,6 +19,11 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []Message
 	closed bool
+	// failErr, when non-nil, is the transport fault that closed the
+	// mailbox (peer lost, coordinator gone). Receivers drain any already-
+	// queued matches first, then surface this instead of the generic
+	// "world closed" error.
+	failErr error
 	// size mirrors len(queue) so blocked receivers can busy-poll without
 	// taking the mutex (the standard MPI progress-engine trick: a short
 	// spin avoids a futex sleep/wake round trip when the peer responds
@@ -54,6 +59,26 @@ func (mb *mailbox) close() {
 	mb.closed = true
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
+}
+
+// fail closes the mailbox attributing the closure to a transport fault.
+// The first fault wins; a fail after a plain close still records the
+// error (the close was administrative, the fault explains it).
+func (mb *mailbox) fail(err error) {
+	mb.mu.Lock()
+	if mb.failErr == nil {
+		mb.failErr = err
+	}
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// failure reports the fault that closed the mailbox, if any.
+func (mb *mailbox) failure() error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.failErr
 }
 
 func match(m Message, src, tag int) bool {

@@ -52,6 +52,9 @@ type Transport interface {
 	start(boxes []*mailbox) error
 	// stop tears the transport down.
 	stop() error
+	// faults reports how many transport faults (dead peer connections,
+	// failed hub writers, checksum rejections) this transport observed.
+	faults() int64
 }
 
 // World is a communicator universe of size ranks. Create one with
@@ -116,11 +119,15 @@ type CommStats struct {
 	Sends       int64
 	Bytes       int64
 	Collectives int64
+	// Faults counts transport faults observed (dead peer connections,
+	// failed hub writers, checksum rejections). Non-zero Faults means at
+	// least one rank saw a named transport error; see ErrPeerLost.
+	Faults int64
 }
 
 // Stats snapshots the world's transport counters.
 func (w *World) Stats() CommStats {
-	return CommStats{Sends: w.sends.Load(), Bytes: w.sendBytes.Load()}
+	return CommStats{Sends: w.sends.Load(), Bytes: w.sendBytes.Load(), Faults: w.transport.faults()}
 }
 
 // countSend records one transport send of n payload bytes.
@@ -234,10 +241,17 @@ func (c *Comm) Stats() CommStats {
 }
 
 // Recv blocks until a message matching (src, tag) arrives. Use AnySource
-// and/or AnyTag as wildcards. It fails if the world is closed.
+// and/or AnyTag as wildcards. It fails if the world is closed; when the
+// closure was caused by a transport fault the error wraps ErrPeerLost, so
+// callers can distinguish a lost peer from an orderly shutdown with
+// errors.Is.
 func (c *Comm) Recv(src, tag int) (Message, error) {
-	m, ok, closed := c.world.boxes[c.rank].get(src, tag, true)
+	box := c.world.boxes[c.rank]
+	m, ok, closed := box.get(src, tag, true)
 	if closed && !ok {
+		if err := box.failure(); err != nil {
+			return Message{}, fmt.Errorf("mpi: rank %d: %w", c.rank, err)
+		}
 		return Message{}, fmt.Errorf("mpi: rank %d: world closed while receiving", c.rank)
 	}
 	return m, nil
@@ -267,6 +281,8 @@ func (t *memTransport) start(boxes []*mailbox) error {
 }
 
 func (t *memTransport) stop() error { return nil }
+
+func (t *memTransport) faults() int64 { return 0 }
 
 func (t *memTransport) send(src, dst, tag int, data []byte) error {
 	t.boxes[dst].put(Message{Src: src, Tag: tag, Data: data})

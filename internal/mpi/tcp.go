@@ -2,20 +2,21 @@ package mpi
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // tcpTransport routes every message over loopback TCP through a hub. Each
 // rank holds one connection to the hub; a frame carries (peer, tag, len,
-// payload) where peer is the destination on the way in and the source on
-// the way out. Routing through a hub keeps the connection count at p
-// instead of p² while preserving per-(src,dst) FIFO order: the hub reads
-// each inbound connection with a single goroutine and forwards frames to
+// payload, crc) where peer is the destination on the way in and the
+// source on the way out (see frame.go for the wire format). Routing
+// through a hub keeps the connection count at p instead of p² while
+// preserving per-(src,dst) FIFO order: the hub reads each inbound
+// connection with a single goroutine and forwards frames to
 // per-destination writer queues in arrival order.
 type tcpTransport struct {
 	size  int
@@ -29,10 +30,18 @@ type tcpTransport struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 	stopped  chan struct{}
+
+	// Fault bookkeeping: faultCnt counts observed transport faults
+	// (CommStats.Faults); errs records them for stop() to propagate.
+	faultCnt atomic.Int64
+	errMu    sync.Mutex
+	errs     []error
 }
 
-// frame layout: peer int32 | tag int32 | len uint32 | payload.
-const frameHeader = 12
+// writeTimeout bounds every hub-side and client-side socket write. A dead
+// peer whose kernel buffers have filled then surfaces as a deadline error
+// within this window instead of blocking a writer forever.
+const writeTimeout = 30 * time.Second
 
 func newTCPTransport(size int) *tcpTransport {
 	return &tcpTransport{
@@ -46,12 +55,17 @@ func newTCPTransport(size int) *tcpTransport {
 
 // hubWriter serializes hub-side writes to one rank connection. Frames are
 // queued so hub reader goroutines never block on a slow destination
-// socket, preserving liveness under arbitrary traffic patterns.
+// socket, preserving liveness under arbitrary traffic patterns. Once the
+// drain loop dies on a write error the writer is dead: subsequent pushes
+// are dropped (not queued — a long run with one dead peer must not
+// accumulate frames forever) and the error is kept for teardown.
 type hubWriter struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue [][]byte
 	done  bool
+	dead  bool
+	err   error
 }
 
 func newHubWriter() *hubWriter {
@@ -60,8 +74,13 @@ func newHubWriter() *hubWriter {
 	return hw
 }
 
+// push queues a frame, or drops it if the writer already died.
 func (hw *hubWriter) push(frame []byte) {
 	hw.mu.Lock()
+	if hw.dead {
+		hw.mu.Unlock()
+		return
+	}
 	hw.queue = append(hw.queue, frame)
 	hw.mu.Unlock()
 	hw.cond.Signal()
@@ -74,17 +93,40 @@ func (hw *hubWriter) close() {
 	hw.cond.Signal()
 }
 
-// drain runs until close, writing queued frames to w. Each wakeup takes
-// the whole queue and hands it to the connection as one vectored write
-// (writev(2) when w is a *net.TCPConn), so a burst of frames costs one
-// syscall instead of one write per frame.
-func (hw *hubWriter) drain(w io.Writer) {
+// fail marks the writer dead, records the first error, and releases the
+// queue (nothing will ever drain it).
+func (hw *hubWriter) fail(err error) {
+	hw.mu.Lock()
+	if !hw.dead {
+		hw.dead = true
+		hw.err = err
+	}
+	hw.queue = nil
+	hw.mu.Unlock()
+	hw.cond.Broadcast()
+}
+
+// error reports the write error that killed the writer, if any.
+func (hw *hubWriter) error() error {
+	hw.mu.Lock()
+	defer hw.mu.Unlock()
+	return hw.err
+}
+
+// drain runs until close or a write error, writing queued frames to conn.
+// Each wakeup takes the whole queue and hands it to the connection as one
+// vectored write (writev(2) when conn is a *net.TCPConn), so a burst of
+// frames costs one syscall instead of one write per frame. Every batch
+// write carries a deadline: a destination that stopped reading surfaces
+// as an error within writeTimeout instead of blocking the hub forever.
+// On error the writer is marked dead (see push) and the error recorded.
+func (hw *hubWriter) drain(conn net.Conn) {
 	for {
 		hw.mu.Lock()
-		for len(hw.queue) == 0 && !hw.done {
+		for len(hw.queue) == 0 && !hw.done && !hw.dead {
 			hw.cond.Wait()
 		}
-		if len(hw.queue) == 0 && hw.done {
+		if hw.dead || (len(hw.queue) == 0 && hw.done) {
 			hw.mu.Unlock()
 			return
 		}
@@ -92,11 +134,35 @@ func (hw *hubWriter) drain(w io.Writer) {
 		hw.queue = nil
 		hw.mu.Unlock()
 		bufs := net.Buffers(batch)
-		if _, err := bufs.WriteTo(w); err != nil {
+		_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if _, err := bufs.WriteTo(conn); err != nil {
+			hw.fail(fmt.Errorf("mpi: hub write: %w", err))
 			return
 		}
 	}
 }
+
+// fault records a transport fault and fails every mailbox so blocked
+// receivers return a named ErrPeerLost error instead of hanging. During
+// orderly shutdown (stopped closed) faults are expected noise and
+// ignored.
+func (t *tcpTransport) fault(err error) {
+	select {
+	case <-t.stopped:
+		return
+	default:
+	}
+	t.faultCnt.Add(1)
+	wrapped := fmt.Errorf("%w: %v", ErrPeerLost, err)
+	t.errMu.Lock()
+	t.errs = append(t.errs, wrapped)
+	t.errMu.Unlock()
+	for _, b := range t.boxes {
+		b.fail(wrapped)
+	}
+}
+
+func (t *tcpTransport) faults() int64 { return t.faultCnt.Load() }
 
 func (t *tcpTransport) start(boxes []*mailbox) error {
 	t.boxes = boxes
@@ -106,7 +172,9 @@ func (t *tcpTransport) start(boxes []*mailbox) error {
 	}
 	t.ln = ln
 
-	// Accept hub-side connections.
+	// Accept hub-side connections. Unlike the distributed hub, both ends
+	// live in this process: a malformed handshake here is a programming
+	// error, so it fails start() outright instead of being skipped.
 	accepted := make(chan error, 1)
 	go func() { // goroutine-lifecycle: joined by the <-accepted receive at the end of start
 
@@ -116,15 +184,22 @@ func (t *tcpTransport) start(boxes []*mailbox) error {
 				accepted <- err
 				return
 			}
-			// Handshake: the client announces its rank.
-			var hdr [4]byte
-			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-				accepted <- err
+			rank, status, err := readHello(conn, t.size)
+			if err == nil && status == joinOK && t.hubWr[rank] != nil {
+				status = joinDupRank
+			}
+			if err != nil || status != joinOK {
+				if err == nil {
+					err = fmt.Errorf("%w: %s", ErrHandshake, joinStatusText(status))
+					_ = writeAck(conn, status)
+				}
+				_ = conn.Close()
+				accepted <- fmt.Errorf("mpi: tcp handshake: %w", err)
 				return
 			}
-			rank := int(int32(binary.LittleEndian.Uint32(hdr[:])))
-			if rank < 0 || rank >= t.size {
-				accepted <- fmt.Errorf("mpi: tcp handshake announced bad rank %d", rank)
+			if err := writeAck(conn, joinOK); err != nil {
+				_ = conn.Close()
+				accepted <- fmt.Errorf("mpi: tcp handshake ack: %w", err)
 				return
 			}
 			hw := newHubWriter()
@@ -137,6 +212,9 @@ func (t *tcpTransport) start(boxes []*mailbox) error {
 			go func(conn net.Conn, hw *hubWriter) {
 				defer t.wg.Done()
 				hw.drain(conn)
+				if err := hw.error(); err != nil {
+					t.fault(err)
+				}
 			}(conn, hw)
 		}
 		accepted <- nil
@@ -149,9 +227,10 @@ func (t *tcpTransport) start(boxes []*mailbox) error {
 		if err != nil {
 			return fmt.Errorf("mpi: tcp dial: %w", err)
 		}
-		var hdr [4]byte
-		binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
-		if _, err := conn.Write(hdr[:]); err != nil {
+		if err := writeHello(conn, t.size, rank); err != nil {
+			return fmt.Errorf("mpi: tcp handshake: %w", err)
+		}
+		if err := readAck(conn); err != nil {
 			return fmt.Errorf("mpi: tcp handshake: %w", err)
 		}
 		t.conns[rank] = conn
@@ -166,18 +245,23 @@ func (t *tcpTransport) start(boxes []*mailbox) error {
 }
 
 // hubRead forwards frames arriving from rank src to their destinations.
+// A read failure (or checksum mismatch) while the world is live is a
+// fault: the source rank's stream is unrecoverable.
 func (t *tcpTransport) hubRead(conn net.Conn, src int) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	for {
 		frame, peer, err := readFrame(br)
 		if err != nil {
+			t.fault(fmt.Errorf("rank %d stream: %v", src, err))
 			return
 		}
 		if peer < 0 || peer >= t.size {
+			t.fault(fmt.Errorf("rank %d stream: bad destination %d", src, peer))
 			return
 		}
-		// Rewrite the peer field to carry the source on the way out.
-		binary.LittleEndian.PutUint32(frame[0:], uint32(src))
+		// Rewrite the peer field to carry the source on the way out; the
+		// checksum excludes the peer field, so the frame forwards as-is.
+		putFramePeer(frame, src)
 		hw := t.hubWr[peer]
 		if hw == nil {
 			return
@@ -186,52 +270,30 @@ func (t *tcpTransport) hubRead(conn net.Conn, src int) {
 	}
 }
 
-// rankRead deposits frames from the hub into this rank's mailbox.
+// rankRead deposits frames from the hub into this rank's mailbox. The
+// payload aliases the frame buffer readFrame freshly allocated — see the
+// ownership rule on readFrame; no copy is needed.
 func (t *tcpTransport) rankRead(conn net.Conn, rank int) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	for {
 		frame, src, err := readFrame(br)
 		if err != nil {
+			t.fault(fmt.Errorf("rank %d hub connection: %v", rank, err))
 			return
 		}
-		tag := int(int32(binary.LittleEndian.Uint32(frame[4:])))
-		payload := make([]byte, len(frame)-frameHeader)
-		copy(payload, frame[frameHeader:])
-		t.boxes[rank].put(Message{Src: src, Tag: tag, Data: payload})
+		t.boxes[rank].put(Message{Src: src, Tag: frameTag(frame), Data: framePayload(frame)})
 	}
-}
-
-// readFrame reads one complete frame, returning it (header included) and
-// the peer field.
-func readFrame(r io.Reader) (frame []byte, peer int, err error) {
-	var hdr [frameHeader]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, 0, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[8:])
-	if n > 1<<28 {
-		return nil, 0, fmt.Errorf("mpi: tcp frame too large: %d", n)
-	}
-	frame = make([]byte, frameHeader+int(n))
-	copy(frame, hdr[:])
-	if _, err := io.ReadFull(r, frame[frameHeader:]); err != nil {
-		return nil, 0, err
-	}
-	return frame, int(int32(binary.LittleEndian.Uint32(hdr[0:]))), nil
 }
 
 func (t *tcpTransport) send(src, dst, tag int, data []byte) error {
-	frame := make([]byte, frameHeader+len(data))
-	binary.LittleEndian.PutUint32(frame[0:], uint32(dst))
-	binary.LittleEndian.PutUint32(frame[4:], uint32(tag))
-	binary.LittleEndian.PutUint32(frame[8:], uint32(len(data)))
-	copy(frame[frameHeader:], data)
+	frame := encodeFrame(dst, tag, data)
 	t.wmu[src].Lock()
 	defer t.wmu[src].Unlock()
 	conn := t.conns[src]
 	if conn == nil {
 		return fmt.Errorf("mpi: tcp transport not started")
 	}
+	_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	_, err := conn.Write(frame)
 	return err
 }
@@ -239,6 +301,11 @@ func (t *tcpTransport) send(src, dst, tag int, data []byte) error {
 func (t *tcpTransport) stop() error {
 	var errs []error
 	t.stopOnce.Do(func() {
+		// Faults recorded while the world was live propagate; anything
+		// after this point is teardown noise.
+		t.errMu.Lock()
+		errs = append(errs, t.errs...)
+		t.errMu.Unlock()
 		close(t.stopped)
 		if t.ln != nil {
 			if err := t.ln.Close(); err != nil {
