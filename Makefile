@@ -35,11 +35,15 @@ racedist:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
 
-# One tiny iteration of the engine-step benchmark on small inputs: proves
-# the bench harness (worlds, counters, metrics) still runs, without
-# measuring anything. CI runs this so benchmark rot is caught early.
+# One tiny iteration of the engine-step benchmarks on small inputs
+# (proves the bench harness still runs, without measuring anything),
+# plus the adaptive-window regression guard: one full-size run of the
+# tiny-uniform high-conflict config, failing if transport sends or
+# restarts regress >2x against the committed BENCH_adaptive.json
+# baseline. CI runs this so benchmark and controller rot is caught early.
 benchsmoke:
 	$(GO) test -short -run=^$$ -bench=BenchmarkEngineStep -benchtime=1x ./internal/core/
+	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokeAdaptiveRegression$$' -v ./internal/core/
 
 clean:
 	$(GO) clean ./...

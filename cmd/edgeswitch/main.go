@@ -13,9 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"edgeswitch"
+	"edgeswitch/internal/metrics"
 )
 
 func main() {
@@ -31,20 +33,21 @@ func main() {
 		steps   = flag.Int64("steps", 1, "number of steps (parallel; step size = t/steps)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		useTCP  = flag.Bool("tcp", false, "route parallel messages over loopback TCP")
+		adapt   = flag.Bool("adaptive", false, "tune each rank's op-pipelining window from observed abort rates (AIMD)")
 		quiet   = flag.Bool("q", false, "suppress the per-rank table")
 		mode    = flag.String("mode", "plain", "constraint mode: plain, connected, bipartite, jdd (sequential only)")
 		left    = flag.Int("left", 0, "bipartition size (bipartite mode: vertices 0..left-1 are one side)")
 	)
 	flag.Parse()
 
-	if err := run(*inPath, *dataset, *scale, *outPath, *tOps, *x, *ranks, *scheme, *steps, *seed, *useTCP, *quiet, *mode, *left); err != nil {
+	if err := run(*inPath, *dataset, *scale, *outPath, *tOps, *x, *ranks, *scheme, *steps, *seed, *useTCP, *adapt, *quiet, *mode, *left); err != nil {
 		fmt.Fprintln(os.Stderr, "edgeswitch:", err)
 		os.Exit(1)
 	}
 }
 
 func run(inPath, dataset string, scale float64, outPath string, tOps int64, x float64,
-	ranks int, scheme string, steps int64, seed uint64, useTCP, quiet bool, mode string, left int) error {
+	ranks int, scheme string, steps int64, seed uint64, useTCP, adaptive, quiet bool, mode string, left int) error {
 
 	var g *edgeswitch.Graph
 	var err error
@@ -79,12 +82,13 @@ func run(inPath, dataset string, scale float64, outPath string, tOps int64, x fl
 	switch mode {
 	case "plain", "":
 		rep, err = edgeswitch.Run(g, edgeswitch.Options{
-			Ops:      t,
-			Ranks:    ranks,
-			Scheme:   edgeswitch.Scheme(scheme),
-			StepSize: stepSize,
-			Seed:     seed,
-			UseTCP:   useTCP,
+			Ops:            t,
+			Ranks:          ranks,
+			Scheme:         edgeswitch.Scheme(scheme),
+			StepSize:       stepSize,
+			Seed:           seed,
+			UseTCP:         useTCP,
+			AdaptiveWindow: adaptive,
 		})
 	case "connected":
 		rep, err = edgeswitch.RunConnected(g, t, seed)
@@ -103,14 +107,22 @@ func run(inPath, dataset string, scale float64, outPath string, tOps int64, x fl
 		rep.Ops, rep.Restarts, rep.Forfeited, rep.Elapsed)
 	fmt.Printf("observed visit rate: %.6f\n", rep.VisitRate)
 	if rep.Parallel != nil && !quiet {
-		fmt.Println("rank\tvertices\tedges0\tedgesN\tops")
+		fmt.Println("rank\tvertices\tedges0\tedgesN\tops\trestarts\twinmax")
 		for i := range rep.Parallel.RankOps {
-			fmt.Printf("%d\t%d\t%d\t%d\t%d\n", i,
+			fmt.Printf("%d\t%d\t%d\t%d\t%d\t%d\t%d\n", i,
 				rep.Parallel.RankVertices[i],
 				rep.Parallel.RankInitialEdges[i],
 				rep.Parallel.RankFinalEdges[i],
-				rep.Parallel.RankOps[i])
+				rep.Parallel.RankOps[i],
+				rep.Parallel.RankRestarts[i],
+				rep.Parallel.RankWindowMax[i])
 		}
+		ab := metrics.AbortRates(rep.Parallel.RankRestarts, rep.Parallel.RankOps)
+		lo, hi := ab[0], ab[0]
+		for _, r := range ab {
+			lo, hi = math.Min(lo, r), math.Max(hi, r)
+		}
+		fmt.Printf("abort rate per rank: min %.3f max %.3f\n", lo, hi)
 	}
 	if outPath != "" {
 		if err := edgeswitch.SaveGraphFile(outPath, rep.Result); err != nil {

@@ -8,7 +8,7 @@ import (
 
 func TestRunDataset(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "out.txt")
-	err := run("", "erdosrenyi", 0.02, out, 500, 1, 2, "HP-U", 2, 7, false, true, "plain", 0)
+	err := run("", "erdosrenyi", 0.02, out, 500, 1, 2, "HP-U", 2, 7, false, true, true, "plain", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestRunFromFile(t *testing.T) {
 	if err := os.WriteFile(in, []byte("# 6 5\n0 1\n1 2\n2 3\n3 4\n4 5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", 1, "", 20, 1, 1, "CP", 1, 3, false, true, "plain", 0); err != nil {
+	if err := run(in, "", 1, "", 20, 1, 1, "CP", 1, 3, false, false, true, "plain", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,7 +38,7 @@ func TestRunModes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []string{"plain", "connected", "jdd"} {
-		if err := run(in, "", 1, "", 10, 1, 1, "CP", 1, 5, false, true, mode, 0); err != nil {
+		if err := run(in, "", 1, "", 10, 1, 1, "CP", 1, 5, false, false, true, mode, 0); err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
 	}
@@ -47,22 +47,22 @@ func TestRunModes(t *testing.T) {
 	if err := os.WriteFile(bip, []byte("# 6 5\n0 3\n0 4\n1 4\n1 5\n2 5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bip, "", 1, "", 10, 1, 1, "CP", 1, 5, false, true, "bipartite", 3); err != nil {
+	if err := run(bip, "", 1, "", 10, 1, 1, "CP", 1, 5, false, false, true, "bipartite", 3); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", 1, "", 10, 1, 1, "CP", 1, 1, false, true, "plain", 0); err == nil {
+	if err := run("", "", 1, "", 10, 1, 1, "CP", 1, 1, false, false, true, "plain", 0); err == nil {
 		t.Fatal("missing input accepted")
 	}
-	if err := run("x.txt", "miami", 1, "", 10, 1, 1, "CP", 1, 1, false, true, "plain", 0); err == nil {
+	if err := run("x.txt", "miami", 1, "", 10, 1, 1, "CP", 1, 1, false, false, true, "plain", 0); err == nil {
 		t.Fatal("both -in and -dataset accepted")
 	}
-	if err := run("", "erdosrenyi", 0.02, "", 10, 1, 1, "CP", 1, 1, false, true, "bogus", 0); err == nil {
+	if err := run("", "erdosrenyi", 0.02, "", 10, 1, 1, "CP", 1, 1, false, false, true, "bogus", 0); err == nil {
 		t.Fatal("bogus mode accepted")
 	}
-	if err := run("", "nonexistent", 1, "", 10, 1, 1, "CP", 1, 1, false, true, "plain", 0); err == nil {
+	if err := run("", "nonexistent", 1, "", 10, 1, 1, "CP", 1, 1, false, false, true, "plain", 0); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }

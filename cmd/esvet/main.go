@@ -44,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *list {
 		for _, c := range analysis.Checks() {
-			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", c.Name, c.Doc)
 		}
 		return 0
 	}

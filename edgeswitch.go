@@ -84,6 +84,11 @@ type Options struct {
 	Seed uint64
 	// UseTCP routes parallel engine traffic over loopback TCP.
 	UseTCP bool
+	// AdaptiveWindow lets each rank tune its operation-pipelining window
+	// from observed abort rates (AIMD, see core.Config.AdaptiveWindow)
+	// instead of the fixed 64 ∧ |E_local|/8. No effect on sequential
+	// runs.
+	AdaptiveWindow bool
 	// InPlace lets the sequential path mutate g directly instead of a
 	// clone (saves memory on large graphs).
 	InPlace bool
@@ -144,11 +149,12 @@ func Run(g *Graph, opt Options) (*Report, error) {
 		}, nil
 	}
 	res, err := core.Parallel(g, t, core.Config{
-		Ranks:    opt.Ranks,
-		Scheme:   opt.Scheme,
-		StepSize: opt.StepSize,
-		Seed:     opt.Seed,
-		UseTCP:   opt.UseTCP,
+		Ranks:          opt.Ranks,
+		Scheme:         opt.Scheme,
+		StepSize:       opt.StepSize,
+		Seed:           opt.Seed,
+		UseTCP:         opt.UseTCP,
+		AdaptiveWindow: opt.AdaptiveWindow,
 	})
 	if err != nil {
 		return nil, err

@@ -54,6 +54,8 @@ func Checks() []*Check {
 		checkMPIErr,
 		checkNoPrint,
 		checkNoPoll,
+		checkTag,
+		checkLockCollective,
 	}
 }
 

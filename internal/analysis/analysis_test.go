@@ -167,6 +167,48 @@ func TestChecksOnFixtures(t *testing.T) {
 			name: "nopoll accepts blocking waits and annotated sleeps",
 			check: "nopoll", variant: "good", as: "internal/mpi",
 		},
+		{
+			name: "tagcheck fires on raw and one-sided tags",
+			check: "tagcheck", variant: "bad", as: "internal/core",
+			typecheck: true,
+			want: []finding{
+				{"bad.go", 19}, // raw literal tag in Send
+				{"bad.go", 22}, // ackTag used on the send side only
+			},
+			msg: "tag",
+		},
+		{
+			name: "tagcheck literal rule runs without type info",
+			check: "tagcheck", variant: "bad", as: "internal/core",
+			want: []finding{{"bad.go", 19}},
+			msg:  "raw integer tag",
+		},
+		{
+			name: "tagcheck exempts non-engine packages",
+			check: "tagcheck", variant: "bad", as: "internal/metrics",
+		},
+		{
+			name: "tagcheck accepts named, wildcard and annotated tags",
+			check: "tagcheck", variant: "good", as: "internal/core",
+			typecheck: true,
+		},
+		{
+			name: "lockcollective fires under held mutexes",
+			check: "lockcollective", variant: "bad", as: "internal/core",
+			want: []finding{
+				{"bad.go", 22}, // Barrier under a deferred Unlock
+				{"bad.go", 27}, // Allgather between Lock and Unlock
+			},
+			msg: "holding",
+		},
+		{
+			name: "lockcollective exempts non-engine packages",
+			check: "lockcollective", variant: "bad", as: "internal/harness",
+		},
+		{
+			name: "lockcollective accepts released locks, literal scopes and annotations",
+			check: "lockcollective", variant: "good", as: "internal/core",
+		},
 	}
 
 	for _, tt := range tests {

@@ -1,0 +1,30 @@
+// Fixture: collectives invoked while a mutex is held. Checked
+// impersonated as internal/core (must fire) and internal/harness
+// (exempt path). Purely syntactic: no type information needed.
+package fixture
+
+import "sync"
+
+type comm struct{}
+
+func (comm) Barrier() error { return nil }
+
+func (comm) Allgather(data []byte) ([][]byte, error) { return nil, nil }
+
+type state struct {
+	mu sync.Mutex
+	c  comm
+}
+
+func Flush(s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Barrier()
+}
+
+func Snapshot(s *state) ([][]byte, error) {
+	s.mu.Lock()
+	parts, err := s.c.Allgather(nil)
+	s.mu.Unlock()
+	return parts, err
+}

@@ -1,0 +1,41 @@
+// Fixture: collectives with the lock released first, a function
+// literal as a fresh lock scope, and an annotated teardown barrier.
+// Clean under lockcollective as internal/core.
+package fixture
+
+import "sync"
+
+type comm struct{}
+
+func (comm) Barrier() error { return nil }
+
+type state struct {
+	mu sync.Mutex
+	c  comm
+	n  int
+}
+
+func Flush(s *state) error {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	_ = n
+	return s.c.Barrier()
+}
+
+func Watch(s *state) {
+	go func() {
+		s.mu.Lock()
+		n := s.n
+		s.mu.Unlock()
+		_ = n
+		_ = s.c.Barrier()
+	}()
+}
+
+func Teardown(s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// lockcollective: teardown fence; peers have already exited their loops
+	return s.c.Barrier()
+}

@@ -1,0 +1,30 @@
+// Fixture: raw integer tags and one-sided tag constants. Checked
+// impersonated as internal/core (must fire) and internal/metrics
+// (exempt path). Type-checked so the one-sided constant rule runs.
+package fixture
+
+type comm struct{}
+
+func (comm) Send(dst, tag int, b []byte) error { return nil }
+
+func (comm) SendOwned(dst, tag int, b []byte) error { return nil }
+
+func (comm) Recv(src, tag int) ([]byte, error) { return nil, nil }
+
+const ackTag = 7 // send-side only: the consistency rule must fire
+
+const reqTag = 9 // both sides: clean
+
+func Exchange(c comm) error {
+	if err := c.Send(0, 1, nil); err != nil {
+		return err
+	}
+	if err := c.SendOwned(0, ackTag, nil); err != nil {
+		return err
+	}
+	if err := c.Send(0, reqTag, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, reqTag)
+	return err
+}

@@ -1,0 +1,28 @@
+// Fixture: named tags used on both sides, a wildcard receive, and an
+// annotated raw tag. Clean under tagcheck as internal/core.
+package fixture
+
+type comm struct{}
+
+func (comm) Send(dst, tag int, b []byte) error { return nil }
+
+func (comm) Recv(src, tag int) ([]byte, error) { return nil, nil }
+
+const opTag = 1
+
+const AnyTag = -1 // wildcard: exempt from the side rule
+
+func Exchange(c comm) error {
+	if err := c.Send(0, opTag, nil); err != nil {
+		return err
+	}
+	if _, err := c.Recv(0, AnyTag); err != nil {
+		return err
+	}
+	// tagcheck: probing a legacy peer that only speaks tag 3
+	if err := c.Send(0, 3, nil); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, opTag)
+	return err
+}

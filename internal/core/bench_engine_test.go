@@ -2,20 +2,62 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"edgeswitch/internal/gen"
+	"edgeswitch/internal/graph"
 	"edgeswitch/internal/mpi"
 	"edgeswitch/internal/rng"
 )
 
+// benchEngine runs RunRank b.N times on one world and reports the
+// transport traffic a run costs — msgs/op is the number of payloads
+// handed to the transport (what batching shrinks), bytes/op the payload
+// volume — plus restarts/op, the protocol work wasted on rejected
+// selections (what the adaptive window shrinks).
+func benchEngine(b *testing.B, g *graph.Graph, ops int64, useTCP bool, cfg Config) {
+	b.Helper()
+	var opts []mpi.Option
+	if useTCP {
+		opts = append(opts, mpi.WithTCP())
+	}
+	w, err := mpi.NewWorld(cfg.Ranks, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	cfg.SkipResult = true
+	var restarts atomic.Int64
+	start := w.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := w.Run(func(c *mpi.Comm) error {
+			res, err := RunRank(c, g, ops, cfg)
+			if err != nil {
+				return err
+			}
+			if res != nil {
+				restarts.Add(res.Restarts)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := w.Stats()
+	b.ReportMetric(float64(st.Sends-start.Sends)/float64(b.N), "msgs/op")
+	b.ReportMetric(float64(st.Bytes-start.Bytes)/float64(b.N), "bytes/op")
+	b.ReportMetric(float64(restarts.Load())/float64(b.N), "restarts/op")
+}
+
 // BenchmarkEngineStep times one full engine step (a complete RunRank with
 // a single-step quota) across the message-plane matrix: both transports,
-// two rank counts, batching on/off, sanitizer on/off. Beyond ns/op it
-// reports the transport traffic a step costs — msgs/op is the number of
-// payloads handed to the transport (what batching shrinks), bytes/op the
-// payload volume — so the coalescing win is visible in `go test -bench`
-// output directly; BENCH_messageplane.json records the numbers.
+// two rank counts, batching on/off, sanitizer on/off, and the adaptive
+// pipelining window against the fixed one. BENCH_messageplane.json and
+// BENCH_adaptive.json record the numbers.
 func BenchmarkEngineStep(b *testing.B) {
 	n, m, ops := 1200, int64(6000), int64(4000)
 	if testing.Short() {
@@ -26,49 +68,76 @@ func BenchmarkEngineStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	variants := []struct {
-		name              string
-		sanitize, noBatch bool
+		name                        string
+		sanitize, noBatch, adaptive bool
 	}{
 		{name: "batch"},
 		{name: "batch+sanitize", sanitize: true},
 		{name: "nobatch", noBatch: true},
+		{name: "adaptive", adaptive: true},
 	}
 	for _, transport := range []string{"mem", "tcp"} {
 		for _, p := range []int{2, 8} {
 			for _, v := range variants {
 				b.Run(fmt.Sprintf("%s/p%d/%s", transport, p, v.name), func(b *testing.B) {
-					var opts []mpi.Option
-					if transport == "tcp" {
-						opts = append(opts, mpi.WithTCP())
-					}
-					w, err := mpi.NewWorld(p, opts...)
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer w.Close()
-					cfg := Config{
+					benchEngine(b, g, ops, transport == "tcp", Config{
 						Ranks:           p,
 						Scheme:          SchemeHPD,
 						Seed:            31,
-						SkipResult:      true,
 						CheckInvariants: v.sanitize,
 						DisableBatching: v.noBatch,
-					}
-					start := w.Stats()
-					b.ResetTimer()
-					for i := 0; i < b.N; i++ {
-						err := w.Run(func(c *mpi.Comm) error {
-							_, err := RunRank(c, g, ops, cfg)
-							return err
-						})
-						if err != nil {
-							b.Fatal(err)
-						}
-					}
-					b.StopTimer()
-					st := w.Stats()
-					b.ReportMetric(float64(st.Sends-start.Sends)/float64(b.N), "msgs/op")
-					b.ReportMetric(float64(st.Bytes-start.Bytes)/float64(b.N), "bytes/op")
+						AdaptiveWindow:  v.adaptive,
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkEngineStepHighConflict exercises the regime the adaptive
+// window exists for: small per-rank partitions where the fixed 64-edge
+// window holds a large fraction of each partition in hand, inflating
+// reservation conflicts and restarts. Two shapes: a skewed
+// preferential-attachment graph under HP-D (degree-sorted striping
+// concentrates heavy vertices, so partitions are uneven) and a tiny
+// uniform graph. Runs are multi-step so the AIMD controller gets
+// feedback to steer on; restarts/op shows what it buys.
+func BenchmarkEngineStepHighConflict(b *testing.B) {
+	scale := int64(1)
+	if testing.Short() {
+		scale = 4
+	}
+	pa, err := gen.PrefAttachment(rng.Split(33, 0), int(560/scale), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tiny, err := gen.ErdosRenyi(rng.Split(34, 0), int(240/scale), 960/scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		g    *graph.Graph
+		ops  int64
+	}{
+		{name: "skewed-pa", g: pa, ops: 4000 / scale},
+		{name: "tiny-uniform", g: tiny, ops: 4000 / scale},
+	}
+	for _, transport := range []string{"mem", "tcp"} {
+		for _, c := range configs {
+			for _, adaptive := range []bool{false, true} {
+				mode := "fixed"
+				if adaptive {
+					mode = "adaptive"
+				}
+				b.Run(fmt.Sprintf("%s/%s/p8/%s", transport, c.name, mode), func(b *testing.B) {
+					benchEngine(b, c.g, c.ops, transport == "tcp", Config{
+						Ranks:          8,
+						Scheme:         SchemeHPD,
+						Seed:           33,
+						StepSize:       c.ops / 10,
+						AdaptiveWindow: adaptive,
+					})
 				})
 			}
 		}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/mpi"
+	"edgeswitch/internal/rng"
+)
+
+// TestBenchsmokeAdaptiveRegression is the benchsmoke regression guard:
+// it replays the tiny-uniform adaptive high-conflict configuration from
+// BENCH_adaptive.json once and fails if the protocol efficiency the
+// adaptive window is supposed to deliver has regressed by more than 2x
+// against the committed baseline — either in transport sends (the
+// batching the window feeds) or in restarts (the wasted work the
+// controller steers on). It runs only under BENCHSMOKE=1 (`make
+// benchsmoke`): a single run is deliberately noisy, so the 2x band is a
+// rot detector for CI, not a performance assertion; BENCH_adaptive.json
+// holds the measured numbers.
+func TestBenchsmokeAdaptiveRegression(t *testing.T) {
+	if os.Getenv("BENCHSMOKE") == "" {
+		t.Skip("set BENCHSMOKE=1 to run the benchsmoke regression guard")
+	}
+	raw, err := os.ReadFile("../../BENCH_adaptive.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var bench struct {
+		HighConflict []struct {
+			Transport string `json:"transport"`
+			Config    string `json:"config"`
+			Adaptive  struct {
+				Msgs     float64 `json:"msgs_per_run"`
+				Restarts float64 `json:"restarts_per_run"`
+			} `json:"adaptive"`
+		} `json:"high_conflict"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("BENCH_adaptive.json: %v", err)
+	}
+	var baseMsgs, baseRestarts float64
+	for _, c := range bench.HighConflict {
+		if c.Transport == "mem" && c.Config == "tiny-uniform" {
+			baseMsgs, baseRestarts = c.Adaptive.Msgs, c.Adaptive.Restarts
+		}
+	}
+	if baseMsgs == 0 || baseRestarts == 0 {
+		t.Fatal("BENCH_adaptive.json lacks the mem/tiny-uniform adaptive baseline")
+	}
+
+	// The tiny-uniform high-conflict config of BenchmarkEngineStepHighConflict.
+	g, err := gen.ErdosRenyi(rng.Split(34, 0), 240, 960)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 4000
+	w, err := mpi.NewWorld(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var restarts atomic.Int64
+	start := w.Stats()
+	err = w.Run(func(c *mpi.Comm) error {
+		res, err := RunRank(c, g, ops, Config{
+			Ranks:          8,
+			Scheme:         SchemeHPD,
+			Seed:           33,
+			StepSize:       ops / 10,
+			SkipResult:     true,
+			AdaptiveWindow: true,
+		})
+		if err != nil {
+			return err
+		}
+		if res != nil {
+			restarts.Add(res.Restarts)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := float64(w.Stats().Sends - start.Sends)
+	t.Logf("msgs %.0f (baseline %.0f), restarts %d (baseline %.0f)",
+		msgs, baseMsgs, restarts.Load(), baseRestarts)
+	if msgs > 2*baseMsgs {
+		t.Errorf("transport sends regressed >2x: %.0f vs baseline %.0f", msgs, baseMsgs)
+	}
+	if r := float64(restarts.Load()); r > 2*baseRestarts {
+		t.Errorf("restarts regressed >2x: %.0f vs baseline %.0f", r, baseRestarts)
+	}
+}

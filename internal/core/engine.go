@@ -11,6 +11,7 @@ import (
 	"edgeswitch/internal/partition"
 	"edgeswitch/internal/randvar"
 	"edgeswitch/internal/rng"
+	"edgeswitch/internal/tune/window"
 )
 
 // rankEngine is one rank's private world: its partition of the graph
@@ -35,13 +36,23 @@ type rankEngine struct {
 	adj   []graph.AdjSet
 	deg   *graph.Fenwick
 
+	// arena recycles treap nodes across all local AdjSets: every switch
+	// is a delete+insert pair, so steady state allocates no nodes.
+	arena graph.NodeArena
+
 	initialEdges int64
 
 	// selfQ buffers messages this rank addressed to itself (local
 	// switches and locally-owned replacement edges). Bypassing the
 	// mailbox for them keeps per-pair FIFO (it is its own pair) and
 	// removes all locking from the p=1 and mostly-local fast paths.
-	selfQ []opMsg
+	// selfQSpare is the drained previous buffer, swapped back in on the
+	// next drain so the two alternate instead of reallocating.
+	selfQ      []opMsg
+	selfQSpare []opMsg
+
+	// recvBuf is the reused RecvAllInto batch slice for the drain loop.
+	recvBuf []mpi.Message
 
 	// inHand holds edges provisionally removed by an in-flight operation
 	// this rank initiated (its e1) or is partnering (its e2); the value
@@ -51,8 +62,11 @@ type rankEngine struct {
 	potential map[graph.Edge]opID
 
 	// cumEdges is the step-start prefix-sum of per-rank edge counts used
-	// to draw the partner rank with probability |E_j|/|E|.
+	// to draw the partner rank with probability |E_j|/|E|; qBuf is the
+	// matching multinomial weight scratch. Both are sized once and
+	// rewritten at every step boundary.
 	cumEdges []int64
+	qBuf     []float64
 
 	// Initiator-side state: own operations in flight, keyed by id with
 	// the taken first edge as value. Up to opWindow operations are
@@ -84,8 +98,12 @@ type rankEngine struct {
 	stalled      []bool
 	stalledCount int
 
-	// Partner-side state: operations this rank is orchestrating.
+	// Partner-side state: operations this rank is orchestrating. poFree
+	// recycles finished partnerOp records (one is retired per reply
+	// conversation, so the freelist stays at the in-flight high-water
+	// mark).
 	partnerOps map[opID]*partnerOp
+	poFree     []*partnerOp
 
 	// sb is the batching message plane (see sendbuf.go): outbound
 	// protocol messages coalesce per destination and flush whenever the
@@ -105,11 +123,54 @@ type rankEngine struct {
 	baseDeg  []int64
 	degDelta map[graph.Vertex]int32
 
+	// st accumulates this step's protocol signals; at each step boundary
+	// it is folded into tot and (in adaptive runs) fed to winCtl, then
+	// reset. curRestarts above is the only restart counter that survives
+	// inside a step — it drives the explore/forfeit escalation, while st
+	// carries the per-step aggregate the controller consumes.
+	st  stepStats
+	tot stepStats
+
+	// Adaptive pipelining window (Config.AdaptiveWindow): winCtl holds
+	// the AIMD controller fed by st at every step boundary; nil in
+	// fixed-window runs. winMax records the largest window opWindowSize
+	// ever granted — exactly 1 at p=1, where the engine must realize the
+	// sequential chain (asserted by TestSequentialEquivalence).
+	winCtl *window.Controller
+	winMax int
+
 	// Statistics.
 	opsInitiated int64
 	restarts     int64
 	forfeited    int64
 	msgsSent     int64
+}
+
+// stepStats aggregates one step's protocol signals — the per-rank
+// feedback the adaptive window controller consumes (window.Signals) and
+// the run totals Result reports. All counters reset at step boundaries.
+type stepStats struct {
+	started      int64 // own operations begun (each restart begins anew)
+	committed    int64 // own operations completed
+	aborts       int64 // own operations aborted and restarted
+	conflicts    int64 // owner-side transient (window-induced) conflicts
+	reserveFails int64 // failed reservations seen while orchestrating
+	flushes      int64 // message-plane flushes forced by blocking
+	inFlightHWM  int   // high-water mark of in-flight own operations
+}
+
+// add folds one step's counters into a running total (inFlightHWM takes
+// the max — it is a level, not a flow).
+func (t *stepStats) add(s stepStats) {
+	t.started += s.started
+	t.committed += s.committed
+	t.aborts += s.aborts
+	t.conflicts += s.conflicts
+	t.reserveFails += s.reserveFails
+	t.flushes += s.flushes
+	if s.inFlightHWM > t.inFlightHWM {
+		t.inFlightHWM = s.inFlightHWM
+	}
 }
 
 // Partner-op phases.
@@ -129,22 +190,44 @@ const (
 const opWindow = 64
 
 // opWindowSize bounds the in-flight window by the local partition: a rank
-// never holds more than ~1/8 of its current edges in flight, so tiny
+// never holds more than a fraction of its current edges in flight, so tiny
 // partitions degrade to the unpipelined protocol instead of emptying
 // themselves into inHand (which would inflate conflicts and stalls).
 // A single rank runs unpipelined: there is no transport to batch for,
 // and a window would draw first edges without replacement, departing
 // from the sequential chain that p=1 must realize exactly.
+//
+// Fixed mode uses 64 ∧ |E_local|/8; adaptive mode (Config.AdaptiveWindow)
+// asks the AIMD controller, clamped live to |E_local|/4 — the controller
+// only observes the partition at step boundaries, but the partition can
+// shrink mid-step.
 func (e *rankEngine) opWindowSize() int {
 	if e.c.Size() == 1 {
+		if e.winMax < 1 {
+			e.winMax = 1
+		}
 		return 1
 	}
-	w := int(e.deg.Total() / 8)
-	if w < 1 {
-		w = 1
+	var w int
+	if e.winCtl != nil {
+		w = e.winCtl.Window()
+		if lim := int(e.deg.Total() / 4); lim >= 1 && w > lim {
+			w = lim
+		}
+		if w < 1 {
+			w = 1
+		}
+	} else {
+		w = int(e.deg.Total() / 8)
+		if w < 1 {
+			w = 1
+		}
+		if w > opWindow {
+			w = opWindow
+		}
 	}
-	if w > opWindow {
-		w = opWindow
+	if w > e.winMax {
+		e.winMax = w
 	}
 	return w
 }
@@ -163,10 +246,10 @@ type partnerOp struct {
 }
 
 // newRankEngine loads a rank's partition and prepares its state. Only
-// cfg.Seed, cfg.CheckInvariants and cfg.DisableBatching are consulted;
-// the communicator decides everything else. With CheckInvariants set,
-// every step boundary of the run re-verifies the engine invariants (see
-// sanitize.go and stepsync.go).
+// cfg.Seed, cfg.CheckInvariants, cfg.DisableBatching and the window
+// fields are consulted; the communicator decides everything else. With
+// CheckInvariants set, every step boundary of the run re-verifies the
+// engine invariants (see sanitize.go and stepsync.go).
 func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges []flaggedEdge, cfg Config) (*rankEngine, error) {
 	e := &rankEngine{
 		c:          c,
@@ -197,12 +280,29 @@ func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges 
 		if !ok {
 			return nil, fmt.Errorf("core: rank %d handed foreign edge %v", c.Rank(), fe.e)
 		}
-		if !e.adj[li].Insert(fe.e.V, fe.orig, e.rnd.Uint32()) {
+		if !e.adj[li].InsertArena(&e.arena, fe.e.V, fe.orig, e.rnd.Uint32()) {
 			return nil, fmt.Errorf("core: rank %d handed duplicate edge %v", c.Rank(), fe.e)
 		}
 		e.deg.Add(int(li), 1)
 	}
 	e.initialEdges = e.deg.Total()
+	if cfg.AdaptiveWindow {
+		// Start at the fixed window the controller replaces, so an
+		// adaptive run never opens worse than a fixed one. With
+		// c.Size() == 1 the controller pins the window to 1 (and
+		// opWindowSize never consults it anyway) — the sequential-chain
+		// equivalence is preserved twice over.
+		start := int(e.initialEdges / 8)
+		if start > opWindow {
+			start = opWindow
+		}
+		e.winCtl = window.New(window.Config{
+			Ranks:   c.Size(),
+			Floor:   cfg.WindowFloor,
+			Ceiling: cfg.WindowCeiling,
+			Start:   start,
+		})
+	}
 	return e, nil
 }
 
@@ -241,6 +341,7 @@ func (e *rankEngine) run(t, stepSize int64) error {
 		if err := e.checkStepInvariants(); err != nil {
 			return err
 		}
+		e.endStep()
 	}
 	if e.sanitize {
 		return e.verifyBaseline()
@@ -260,8 +361,12 @@ func (e *rankEngine) stepErr(step int, phase string, err error) error {
 // edge counts and draws this step's multinomial operation distribution.
 func (e *rankEngine) prepareStep(s int64, counts []int64) error {
 	p := e.c.Size()
-	e.cumEdges = make([]int64, p+1)
-	q := make([]float64, p)
+	if e.cumEdges == nil {
+		e.cumEdges = make([]int64, p+1)
+		e.qBuf = make([]float64, p)
+		e.stalled = make([]bool, p)
+	}
+	q := e.qBuf
 	var total int64
 	for i, cnt := range counts {
 		if cnt < 0 {
@@ -294,7 +399,9 @@ func (e *rankEngine) prepareStep(s int64, counts []int64) error {
 	e.sentEOS = false
 	e.eosOthers = 0
 	e.myStalled = false
-	e.stalled = make([]bool, p)
+	for i := range e.stalled {
+		e.stalled[i] = false
+	}
 	e.stalledCount = 0
 	return nil
 }
@@ -323,16 +430,21 @@ func (e *rankEngine) stepLoop() error {
 		// first (lock-free), then the mailbox in arrival order.
 		for {
 			if len(e.selfQ) > 0 {
+				// Swap in the spare buffer so handlers can keep queueing
+				// while this batch drains; the drained buffer becomes the
+				// next spare (two arrays alternate, no reallocation).
 				q := e.selfQ
-				e.selfQ = nil
+				e.selfQ = e.selfQSpare[:0]
 				for _, om := range q {
 					if err := e.handleMsg(om, e.c.Rank()); err != nil {
 						return err
 					}
 				}
+				e.selfQSpare = q[:0]
 				continue
 			}
-			batch := e.c.RecvAll(mpi.AnySource, opTag)
+			batch := e.c.RecvAllInto(mpi.AnySource, opTag, e.recvBuf[:0])
+			e.recvBuf = batch
 			if len(batch) == 0 {
 				break
 			}
@@ -422,6 +534,9 @@ func (e *rankEngine) stepLoop() error {
 		if len(e.selfQ) > 0 {
 			continue
 		}
+		if e.sb.pendingBytes() > 0 {
+			e.st.flushes++
+		}
 		if err := e.sb.flush(); err != nil {
 			return err
 		}
@@ -438,6 +553,31 @@ func (e *rankEngine) stepLoop() error {
 		}
 	}
 }
+
+// endStep closes the completed step's accounting: the per-step signals
+// fold into the run totals and, in adaptive runs, feed the AIMD window
+// controller, which sets next step's opWindowSize.
+func (e *rankEngine) endStep() {
+	if e.winCtl != nil {
+		e.winCtl.Observe(window.Signals{
+			Started:      e.st.started,
+			Committed:    e.st.committed,
+			Aborts:       e.st.aborts,
+			Conflicts:    e.st.conflicts,
+			ReserveFails: e.st.reserveFails,
+			Flushes:      e.st.flushes,
+			InFlightHWM:  e.st.inFlightHWM,
+			LocalEdges:   e.deg.Total(),
+		})
+	}
+	e.tot.add(e.st)
+	e.st = stepStats{}
+}
+
+// Stats returns the run-total protocol signals (the stepStats folded at
+// every step boundary) — the numbers behind Result.RankWindowMax,
+// RankConflicts and RankFlushes.
+func (e *rankEngine) Stats() stepStats { return e.tot }
 
 // checkStepInvariants asserts the protocol left no dangling state.
 func (e *rankEngine) checkStepInvariants() error {
@@ -464,27 +604,33 @@ func (e *rankEngine) checkStepInvariants() error {
 // owner returns the rank owning a normalized edge.
 func (e *rankEngine) owner(ed graph.Edge) int { return e.pt.Owner(ed.U) }
 
-// hasLocal reports whether a normalized local edge exists (adjacency,
-// reservation, or provisionally removed).
-func (e *rankEngine) conflicts(ed graph.Edge) bool {
+// conflicts reports whether a normalized local edge exists (adjacency,
+// reservation, or provisionally removed) and, when it does, whether the
+// collision is transient — with an in-hand edge or a reservation, i.e.
+// with protocol state whose population is the sum of everyone's
+// pipelining windows — or structural (the edge is simply present in the
+// adjacency, a parallel-edge rejection that would occur at window 1
+// too). The adaptive window controller steers on transient conflicts
+// only; see internal/tune/window.
+func (e *rankEngine) conflicts(ed graph.Edge) (conflict, transient bool) {
 	if _, held := e.inHand[ed]; held {
-		return true
+		return true, true
 	}
 	if _, reserved := e.potential[ed]; reserved {
-		return true
+		return true, true
 	}
 	li, ok := e.index[ed.U]
 	if !ok {
-		return true // foreign edge: misrouted, treat as conflict
+		return true, false // foreign edge: misrouted, treat as conflict
 	}
-	return e.adj[li].Contains(ed.V)
+	return e.adj[li].Contains(ed.V), false
 }
 
 // takeRandomEdge removes a uniform random local edge into inHand.
 func (e *rankEngine) takeRandomEdge() graph.Edge {
 	slot, offset := e.deg.FindByPrefix(e.rnd.Int64n(e.deg.Total()))
 	v, orig := e.adj[slot].Kth(int(offset))
-	e.adj[slot].Delete(v)
+	e.adj[slot].DeleteArena(&e.arena, v)
 	e.deg.Add(slot, -1)
 	ed := graph.Edge{U: e.verts[slot], V: v}
 	e.inHand[ed] = orig
@@ -500,7 +646,7 @@ func (e *rankEngine) reinsert(ed graph.Edge) error {
 	}
 	delete(e.inHand, ed)
 	li := e.index[ed.U]
-	if !e.adj[li].Insert(ed.V, orig, e.rnd.Uint32()) {
+	if !e.adj[li].InsertArena(&e.arena, ed.V, orig, e.rnd.Uint32()) {
 		return fmt.Errorf("core: rank %d reinsert found duplicate %v", e.c.Rank(), ed)
 	}
 	e.deg.Add(int(li), 1)
@@ -554,6 +700,10 @@ func (e *rankEngine) startOp() error {
 	id := opID{rank: int32(e.c.Rank()), seq: e.seq}
 	e1 := e.takeRandomEdge()
 	e.myOps[id] = e1
+	e.st.started++
+	if n := len(e.myOps); n > e.st.inFlightHWM {
+		e.st.inFlightHWM = n
+	}
 	partner := e.pickPartner()
 	return e.send(partner, opMsg{kind: mSelectSecond, id: id, e1: e1})
 }
@@ -570,6 +720,7 @@ func (e *rankEngine) onOpDone(id opID) error {
 	delete(e.myOps, id)
 	e.remaining--
 	e.opsInitiated++
+	e.st.committed++
 	e.curRestarts = 0
 	return nil
 }
@@ -586,6 +737,7 @@ func (e *rankEngine) onAbort(id opID) error {
 	delete(e.myOps, id)
 	e.restarts++
 	e.curRestarts++
+	e.st.aborts++
 	return nil
 }
 
@@ -609,7 +761,8 @@ func (e *rankEngine) onSelectSecond(id opID, e1 graph.Edge, initiator int) error
 		kind = Straight
 	}
 	a, b := replacement(e1, e2, kind)
-	op := &partnerOp{
+	op := e.newPartnerOp()
+	*op = partnerOp{
 		id:        id,
 		initiator: initiator,
 		e2:        e2,
@@ -641,6 +794,9 @@ func (e *rankEngine) onReserveReply(id opID, ed graph.Edge, ok bool) error {
 	}
 	op.resolved[idx] = true
 	op.okay[idx] = ok
+	if !ok {
+		e.st.reserveFails++
+	}
 	if !op.resolved[0] || !op.resolved[1] {
 		return nil
 	}
@@ -690,7 +846,9 @@ func (e *rankEngine) onAck(id opID, commit bool) error {
 			return err
 		}
 		delete(e.partnerOps, id)
-		return e.send(op.initiator, opMsg{kind: mOpDone, id: id})
+		initiator := op.initiator
+		e.freePartnerOp(op)
+		return e.send(initiator, opMsg{kind: mOpDone, id: id})
 	}
 	return e.finishAbort(op)
 }
@@ -700,7 +858,26 @@ func (e *rankEngine) finishAbort(op *partnerOp) error {
 		return err
 	}
 	delete(e.partnerOps, op.id)
-	return e.send(op.initiator, opMsg{kind: mAbortOp, id: op.id})
+	initiator, id := op.initiator, op.id
+	e.freePartnerOp(op)
+	return e.send(initiator, opMsg{kind: mAbortOp, id: id})
+}
+
+// newPartnerOp draws a partnerOp record from the freelist; the caller
+// overwrites every field. freePartnerOp returns a record once it has
+// left partnerOps and no reference to it remains.
+func (e *rankEngine) newPartnerOp() *partnerOp {
+	if n := len(e.poFree); n > 0 {
+		op := e.poFree[n-1]
+		e.poFree[n-1] = nil
+		e.poFree = e.poFree[:n-1]
+		return op
+	}
+	return new(partnerOp)
+}
+
+func (e *rankEngine) freePartnerOp(op *partnerOp) {
+	e.poFree = append(e.poFree, op)
 }
 
 func (op *partnerOp) edgeIndex(ed graph.Edge) (int, error) {
@@ -719,7 +896,10 @@ func (op *partnerOp) edgeIndex(ed graph.Edge) (int, error) {
 // onReserve answers a reservation request with a conflict check; a
 // successful check records the potential edge (§4.5 issue 1).
 func (e *rankEngine) onReserve(id opID, ed graph.Edge, partner int) error {
-	if e.conflicts(ed) {
+	if conflict, transient := e.conflicts(ed); conflict {
+		if transient {
+			e.st.conflicts++
+		}
 		return e.send(partner, opMsg{kind: mReserveFail, id: id, e1: ed})
 	}
 	e.potential[ed] = id
@@ -737,7 +917,7 @@ func (e *rankEngine) onCommit(id opID, ed graph.Edge, partner int) error {
 	if !ok {
 		return fmt.Errorf("core: rank %d commit of foreign edge %v", e.c.Rank(), ed)
 	}
-	if !e.adj[li].Insert(ed.V, false, e.rnd.Uint32()) {
+	if !e.adj[li].InsertArena(&e.arena, ed.V, false, e.rnd.Uint32()) {
 		return fmt.Errorf("core: rank %d commit found duplicate edge %v", e.c.Rank(), ed)
 	}
 	e.deg.Add(int(li), 1)
@@ -757,13 +937,29 @@ func (e *rankEngine) onRelease(id opID, ed graph.Edge, partner int) error {
 
 // handle dispatches one mailbox payload — a batch of one or more framed
 // protocol messages — then recycles the buffer (the sender transferred
-// ownership with SendOwned, and decoding copies every field out).
+// ownership with SendOwned, and decoding copies every field out). The
+// record loop is written out rather than delegated to forEachOpMsg: a
+// closure over (e, m.Src) escapes and this is the hottest path in the
+// engine.
 func (e *rankEngine) handle(m mpi.Message) error {
-	err := forEachOpMsg(m.Data, func(om opMsg) error {
-		return e.handleMsg(om, m.Src)
-	})
-	putBatchBuf(m.Data)
-	return err
+	data := m.Data
+	for off := 0; off < len(data); {
+		rl := int(data[off])
+		off++
+		if rl == 0 || off+rl > len(data) {
+			return fmt.Errorf("core: truncated message batch at byte %d", off-1)
+		}
+		om, err := decodeOpMsg(data[off : off+rl])
+		if err != nil {
+			return err
+		}
+		off += rl
+		if err := e.handleMsg(om, m.Src); err != nil {
+			return err
+		}
+	}
+	e.sb.recycle(m.Data)
+	return nil
 }
 
 // handleMsg dispatches one protocol message from src.

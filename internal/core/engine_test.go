@@ -60,8 +60,12 @@ func TestEngineLoadsPartition(t *testing.T) {
 	}
 	// Every original edge must be present and conflict-detected.
 	for _, e := range g.Edges() {
-		if !eng.conflicts(e) {
+		conflict, transient := eng.conflicts(e)
+		if !conflict {
 			t.Fatalf("loaded edge %v not seen by conflict check", e)
+		}
+		if transient {
+			t.Fatalf("loaded edge %v misclassified as transient", e)
 		}
 	}
 }
@@ -79,8 +83,8 @@ func TestEngineTakeReinsertDiscard(t *testing.T) {
 	if eng.deg.Total() != g.M()-1 {
 		t.Fatalf("degree total after take: %d", eng.deg.Total())
 	}
-	if !eng.conflicts(e) {
-		t.Fatal("in-hand edge escaped the conflict check")
+	if conflict, transient := eng.conflicts(e); !conflict || !transient {
+		t.Fatalf("in-hand edge: conflict=%v transient=%v, want transient conflict", conflict, transient)
 	}
 	if err := eng.reinsert(e); err != nil {
 		t.Fatal(err)
@@ -150,12 +154,12 @@ func TestEngineConflictsChecksPotential(t *testing.T) {
 	if candidate == (graph.Edge{}) {
 		t.Skip("graph too dense for a candidate")
 	}
-	if eng.conflicts(candidate) {
+	if conflict, _ := eng.conflicts(candidate); conflict {
 		t.Fatal("fresh edge conflicts")
 	}
 	eng.potential[candidate] = opID{rank: 0, seq: 1}
-	if !eng.conflicts(candidate) {
-		t.Fatal("reserved edge not seen by conflict check")
+	if conflict, transient := eng.conflicts(candidate); !conflict || !transient {
+		t.Fatalf("reserved edge: conflict=%v transient=%v, want transient conflict", conflict, transient)
 	}
 }
 

@@ -82,7 +82,7 @@ func TestBatchFIFOAcrossTransports(t *testing.T) {
 						got++
 						return nil
 					})
-					putBatchBuf(m.Data)
+					sb.recycle(m.Data)
 					if err != nil {
 						return err
 					}

@@ -60,6 +60,23 @@ type Config struct {
 	// own transport payload. For benchmarks and tests quantifying the
 	// batching win; leave off otherwise.
 	DisableBatching bool
+	// AdaptiveWindow replaces the fixed operation-pipelining window
+	// (64 ∧ |E_local|/8) with the per-rank AIMD controller of
+	// internal/tune/window: each step's observed restarts, reservation
+	// conflicts/failures, flush count and in-flight high-water mark
+	// additively grow or multiplicatively shrink the next step's window
+	// between 1 and |E_local|/4. At Ranks == 1 the window is pinned to
+	// exactly 1 either way, preserving sequential-chain equivalence.
+	// Off by default; favours high-conflict workloads (small or skewed
+	// partitions) where a fixed window overfills inHand.
+	AdaptiveWindow bool
+	// WindowFloor, when > 0, overrides the adaptive controller's lower
+	// window bound (default 1). Ignored without AdaptiveWindow.
+	WindowFloor int
+	// WindowCeiling, when > 0, caps the adaptive window statically in
+	// addition to the per-step |E_local|/4 clamp (default: no static
+	// cap). Ignored without AdaptiveWindow.
+	WindowCeiling int
 }
 
 // Result reports a parallel run.
@@ -94,6 +111,19 @@ type Result struct {
 	// operation costs a constant number; end-of-step signals add O(p)
 	// per step).
 	RankMessages []int64
+	// RankWindowMax[i] is the largest operation-pipelining window rank i
+	// was ever granted — with AdaptiveWindow, where the controller
+	// settled; always exactly 1 at Ranks == 1 (the sequential-chain
+	// pin, see TestSequentialEquivalence).
+	RankWindowMax []int64
+	// RankConflicts[i] counts reservation conflicts rank i reported as
+	// an edge owner plus reservation failures it observed while
+	// orchestrating for peers — the congestion signal the adaptive
+	// window controller reacts to.
+	RankConflicts []int64
+	// RankFlushes[i] counts message-plane flushes forced by rank i's
+	// step loop blocking (batches pushed out before a Recv wait).
+	RankFlushes []int64
 	// Elapsed is the wall-clock time of the switching phase (excludes
 	// graph partitioning and reassembly).
 	Elapsed time.Duration
@@ -211,8 +241,10 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 	elapsed := clock.Since(start)
 
 	// Gather statistics at rank 0.
+	es := eng.Stats()
 	stats := []int64{eng.opsInitiated, eng.restarts, eng.forfeited,
-		int64(len(eng.verts)), eng.initialEdges, eng.deg.Total(), eng.msgsSent}
+		int64(len(eng.verts)), eng.initialEdges, eng.deg.Total(), eng.msgsSent,
+		int64(eng.winMax), es.conflicts + es.reserveFails, es.flushes}
 	gathered, err := c.Gather(0, mpi.Int64sToBytes(stats))
 	if err != nil {
 		return nil, err
@@ -228,6 +260,9 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 			RankInitialEdges: make([]int64, p),
 			RankFinalEdges:   make([]int64, p),
 			RankMessages:     make([]int64, p),
+			RankWindowMax:    make([]int64, p),
+			RankConflicts:    make([]int64, p),
+			RankFlushes:      make([]int64, p),
 		}
 		for rank, payload := range gathered {
 			vs, err := mpi.BytesToInt64s(payload)
@@ -241,6 +276,9 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 			res.RankInitialEdges[rank] = vs[4]
 			res.RankFinalEdges[rank] = vs[5]
 			res.RankMessages[rank] = vs[6]
+			res.RankWindowMax[rank] = vs[7]
+			res.RankConflicts[rank] = vs[8]
+			res.RankFlushes[rank] = vs[9]
 			res.Ops += vs[0]
 			res.Restarts += vs[1]
 		}

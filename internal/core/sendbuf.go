@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"edgeswitch/internal/mpi"
 )
 
@@ -14,40 +12,62 @@ import (
 // into a single framed payload (see appendOpMsg), flushed at the points
 // where the step loop can block; a step's worth of conversation traffic
 // to a rank then costs one transport send instead of one per message.
+//
+// Buffer ownership rules: the sender draws an encode buffer from its
+// own freelist (getBuf), ownership moves to the receiver with mpi
+// SendOwned, and the receiver returns the buffer to *its* freelist
+// after dispatching the records (recycle). Buffers therefore migrate
+// between ranks over a run, but at any moment each buffer has exactly
+// one owner, so the freelists need no locking. TCP-path receive
+// allocations enter a freelist the same way. An earlier design used a
+// global sync.Pool here; the Get/Put round trip boxes every []byte
+// into an interface and was itself a top allocation site.
 
-// batchPool recycles batch buffers: the sender draws an encode buffer
-// here, ownership moves to the receiver with mpi SendOwned, and the
-// receiver returns the buffer after dispatching its records. TCP-path
-// receive allocations feed the pool the same way.
-var batchPool = sync.Pool{New: func() any { return []byte(nil) }}
+// initialBatchCap presizes fresh batch buffers: big enough that a
+// typical step batch (a window's worth of ~30-byte records) never
+// regrows, small enough that idle destinations cost nothing much.
+const initialBatchCap = 4 << 10
 
 // maxPooledBatch caps the capacity of recycled buffers so a one-off
 // jumbo batch does not pin memory for the rest of the run.
 const maxPooledBatch = 1 << 20
 
-func getBatchBuf() []byte {
-	return batchPool.Get().([]byte)[:0]
-}
-
-// putBatchBuf recycles a buffer the caller has finished reading.
-func putBatchBuf(b []byte) {
-	if cap(b) == 0 || cap(b) > maxPooledBatch {
-		return
-	}
-	batchPool.Put(b[:0])
-}
+// maxFreeBufs caps the freelist length; beyond steady-state churn the
+// excess is left for the GC.
+const maxFreeBufs = 16
 
 // sendBuffer coalesces one rank's outbound protocol messages per
-// destination. It is not safe for concurrent use; each rank engine owns
-// exactly one.
+// destination and owns the rank's batch-buffer freelist. It is not safe
+// for concurrent use; each rank engine owns exactly one.
 type sendBuffer struct {
 	c    *mpi.Comm
 	bufs [][]byte // indexed by destination rank; nil/empty when idle
+	free [][]byte // recycled batch buffers, single-owner, unlocked
 }
 
 func (sb *sendBuffer) init(c *mpi.Comm) {
 	sb.c = c
 	sb.bufs = make([][]byte, c.Size())
+}
+
+// getBuf pops a recycled buffer or allocates a presized fresh one.
+func (sb *sendBuffer) getBuf() []byte {
+	if n := len(sb.free); n > 0 {
+		b := sb.free[n-1]
+		sb.free[n-1] = nil
+		sb.free = sb.free[:n-1]
+		return b
+	}
+	return make([]byte, 0, initialBatchCap)
+}
+
+// recycle returns a buffer the caller has finished reading — usually
+// one that arrived from a peer via SendOwned — to this rank's freelist.
+func (sb *sendBuffer) recycle(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBatch || len(sb.free) >= maxFreeBufs {
+		return
+	}
+	sb.free = append(sb.free, b[:0])
 }
 
 // add queues m for dst. Messages to one destination are delivered in
@@ -56,7 +76,7 @@ func (sb *sendBuffer) init(c *mpi.Comm) {
 // assumptions.
 func (sb *sendBuffer) add(dst int, m opMsg) {
 	if sb.bufs[dst] == nil {
-		sb.bufs[dst] = getBatchBuf()
+		sb.bufs[dst] = sb.getBuf()
 	}
 	sb.bufs[dst] = appendOpMsg(sb.bufs[dst], m)
 }

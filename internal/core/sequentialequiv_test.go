@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSequentialEquivalence is the p=1 guard for the adaptive pipelining
+// window: a single-rank engine must realize the sequential Markov chain
+// edge for edge, so the adaptive controller is required to pin the
+// window to exactly 1 (a deeper window would draw first edges without
+// replacement and change the chain). With the pin in place, an adaptive
+// p=1 run and a fixed p=1 run from the same seed must produce the same
+// switch sequence — verified byte for byte on the resulting edge lists —
+// and RankWindowMax must report 1.
+func TestSequentialEquivalence(t *testing.T) {
+	g := testGraph(t, 7, 600, 3000)
+	const ops = 1500
+	// Multi-step so the controller's Observe path runs at p=1 too: the
+	// pin must hold across step boundaries, not just at the start.
+	run := func(adaptive bool) *Result {
+		res, err := Parallel(g, ops, Config{
+			Ranks:           1,
+			Seed:            99,
+			StepSize:        ops / 5,
+			CheckInvariants: true,
+			AdaptiveWindow:  adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fixed := run(false)
+	adaptive := run(true)
+
+	for _, res := range []*Result{fixed, adaptive} {
+		checkRun(t, g, res, ops)
+		if res.RankWindowMax[0] != 1 {
+			t.Fatalf("p=1 window max %d, want exactly 1", res.RankWindowMax[0])
+		}
+	}
+	if fixed.Ops != adaptive.Ops || fixed.Restarts != adaptive.Restarts {
+		t.Fatalf("run shape diverged: ops %d/%d restarts %d/%d",
+			fixed.Ops, adaptive.Ops, fixed.Restarts, adaptive.Restarts)
+	}
+	fe, ae := fixed.Graph.Edges(), adaptive.Graph.Edges()
+	if len(fe) != len(ae) {
+		t.Fatalf("edge counts diverged: %d vs %d", len(fe), len(ae))
+	}
+	for i := range fe {
+		if fe[i] != ae[i] {
+			t.Fatalf("edge %d diverged: fixed %v, adaptive %v", i, fe[i], ae[i])
+		}
+	}
+	if fixed.VisitRate != adaptive.VisitRate {
+		t.Fatalf("visit rate diverged: %v vs %v", fixed.VisitRate, adaptive.VisitRate)
+	}
+}
+
+// TestAdaptiveWindowParallelRun exercises the adaptive controller at
+// p>1 end to end: a multi-step sanitized run must satisfy every run
+// invariant, and the reported per-rank window high-water marks must
+// stay within the controller's bounds (>=1, <= |E_local|/4 is enforced
+// live so the gathered max can never exceed the initial quarter).
+func TestAdaptiveWindowParallelRun(t *testing.T) {
+	g := testGraph(t, 8, 800, 4000)
+	const ops = 2000
+	res, err := Parallel(g, ops, Config{
+		Ranks:           4,
+		Scheme:          SchemeHPD,
+		Seed:            5,
+		StepSize:        ops / 8,
+		CheckInvariants: true,
+		AdaptiveWindow:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRun(t, g, res, ops)
+	for i, w := range res.RankWindowMax {
+		if w < 1 {
+			t.Fatalf("rank %d window max %d, want >= 1", i, w)
+		}
+		if lim := res.RankInitialEdges[i]; w > lim {
+			t.Fatalf("rank %d window max %d exceeds partition size %d", i, w, lim)
+		}
+	}
+}

@@ -25,6 +25,36 @@ type treapNode struct {
 	original    bool
 }
 
+// NodeArena is a free list of treap nodes threaded through their left
+// pointers. The parallel engine churns one delete+insert pair per edge
+// switch; without reuse every Insert allocates a node and the treap
+// dominates the engine's allocation profile. An arena is owned by a
+// single goroutine (one per rank) and shared across all of that rank's
+// AdjSets, so deletes in one vertex's set feed inserts in another's.
+// The zero value is ready to use, and a nil *NodeArena degrades to
+// plain allocation, which is what the arena-less AdjSet methods pass.
+type NodeArena struct {
+	free *treapNode
+}
+
+func (a *NodeArena) get(v Vertex, original bool, prio uint32) *treapNode {
+	if a == nil || a.free == nil {
+		return &treapNode{key: v, prio: prio, size: 1, original: original}
+	}
+	n := a.free
+	a.free = n.left
+	*n = treapNode{key: v, prio: prio, size: 1, original: original}
+	return n
+}
+
+func (a *NodeArena) put(n *treapNode) {
+	if a == nil {
+		return
+	}
+	*n = treapNode{left: a.free}
+	a.free = n
+}
+
 func size(n *treapNode) int32 {
 	if n == nil {
 		return 0
@@ -99,10 +129,16 @@ func (s *AdjSet) Kth(k int) (Vertex, bool) {
 // in that case, since a duplicate insert indicates a parallel edge the
 // caller should have rejected).
 func (s *AdjSet) Insert(v Vertex, original bool, prio uint32) bool {
+	return s.InsertArena(nil, v, original, prio)
+}
+
+// InsertArena is Insert drawing the node from a (the hot path of the
+// parallel engine); a nil arena allocates.
+func (s *AdjSet) InsertArena(a *NodeArena, v Vertex, original bool, prio uint32) bool {
 	if s.Contains(v) {
 		return false
 	}
-	nn := &treapNode{key: v, prio: prio, size: 1, original: original}
+	nn := a.get(v, original, prio)
 	l, rsub := split(s.root, v)
 	s.root = merge(merge(l, nn), rsub)
 	if original {
@@ -114,6 +150,12 @@ func (s *AdjSet) Insert(v Vertex, original bool, prio uint32) bool {
 // Delete removes v, reporting whether it was present and whether the
 // removed entry was an original edge.
 func (s *AdjSet) Delete(v Vertex) (found, original bool) {
+	return s.DeleteArena(nil, v)
+}
+
+// DeleteArena is Delete returning the removed node to a for reuse by a
+// later InsertArena; a nil arena leaves it to the GC.
+func (s *AdjSet) DeleteArena(a *NodeArena, v Vertex) (found, original bool) {
 	var del func(n *treapNode) *treapNode
 	del = func(n *treapNode) *treapNode {
 		if n == nil {
@@ -126,7 +168,9 @@ func (s *AdjSet) Delete(v Vertex) (found, original bool) {
 			n.right = del(n.right)
 		default:
 			found, original = true, n.original
-			return merge(n.left, n.right)
+			l, r := n.left, n.right
+			a.put(n)
+			return merge(l, r)
 		}
 		n.update()
 		return n

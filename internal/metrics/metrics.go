@@ -202,6 +202,26 @@ func Degrees(g *graph.Graph) DegreeStats {
 	return st
 }
 
+// AbortRates converts per-rank restart and completed-operation counts
+// into per-rank abort rates restarts/(restarts+ops) — the fraction of a
+// rank's selections that were rejected and retried. This is the loss
+// signal the adaptive pipelining-window controller steers on
+// (internal/tune/window); Result.RankRestarts/RankOps provide the
+// inputs. Ranks that did nothing report 0.
+func AbortRates(restarts, ops []int64) []float64 {
+	out := make([]float64, len(restarts))
+	for i := range restarts {
+		var o int64
+		if i < len(ops) {
+			o = ops[i]
+		}
+		if total := restarts[i] + o; total > 0 {
+			out[i] = float64(restarts[i]) / float64(total)
+		}
+	}
+	return out
+}
+
 // Imbalance summarizes how evenly a per-rank load vector is spread:
 // max/mean (1.0 = perfectly balanced) and the coefficient of variation.
 type Imbalance struct {

@@ -140,12 +140,17 @@ func (mb *mailbox) get(src, tag int, block bool) (m Message, ok, closed bool) {
 // takeAll removes and returns every queued message matching (src, tag),
 // in arrival order, without blocking.
 func (mb *mailbox) takeAll(src, tag int) []Message {
+	return mb.takeAllInto(src, tag, nil)
+}
+
+// takeAllInto is takeAll appending into out (typically a recycled
+// slice trimmed to out[:0]), so a drain loop reuses one backing array.
+func (mb *mailbox) takeAllInto(src, tag int, out []Message) []Message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if len(mb.queue) == 0 {
-		return nil
+		return out
 	}
-	var out []Message
 	kept := mb.queue[:0]
 	for _, m := range mb.queue {
 		if match(m, src, tag) {

@@ -269,6 +269,12 @@ func (c *Comm) RecvAll(src, tag int) []Message {
 	return c.world.boxes[c.rank].takeAll(src, tag)
 }
 
+// RecvAllInto is RecvAll appending into out — pass a previous batch
+// trimmed to out[:0] and a steady-state drain loop allocates nothing.
+func (c *Comm) RecvAllInto(src, tag int, out []Message) []Message {
+	return c.world.boxes[c.rank].takeAllInto(src, tag, out)
+}
+
 // Pending reports the number of queued messages (diagnostics only).
 func (c *Comm) Pending() int { return c.world.boxes[c.rank].pending() }
 

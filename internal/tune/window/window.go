@@ -1,0 +1,258 @@
+// Package window implements the adaptive operation-pipelining window
+// controller for the parallel edge-switch engine.
+//
+// The engine pipelines up to "window" own operations per rank so the
+// message plane gets several records per destination batch (see
+// internal/core/sendbuf.go). The right window size is workload-dependent:
+// a large low-conflict partition wants a deep window (fuller batches,
+// fewer blocking flushes), while a small or skewed partition wants a
+// shallow one — every in-flight first edge is out of the partition and
+// inflates the conflict probability of every concurrent reservation, so
+// an oversized window converts throughput into restarts (the §4 restart
+// path's loss). The fixed 64 ∧ |E_local|/8 compromise is replaced here by
+// per-rank AIMD feedback, the same shape as TCP congestion control:
+//
+//   - additive increase: after a calm step (low observed loss) whose
+//     window was actually utilized, grow by Additive;
+//   - multiplicative decrease: after a lossy step, shrink by Backoff.
+//
+// "Loss" is the fraction of this rank's protocol work that was wasted on
+// congestion the windows caused: owner-side transient reservation
+// conflicts — collisions with in-hand edges and existing reservations,
+// whose population is exactly the sum of everyone's in-flight windows —
+// relative to the operations started. Own-operation aborts and
+// structural reservation failures are deliberately NOT part of the
+// signal: most rejections on small or skewed graphs are structural — the
+// drawn pair forms a loop or parallel edge, or the replacement edge
+// already exists, which happens at window 1 just as at window 64 — and
+// steering on them collapses the window to the floor without reducing
+// the rejections, trading away all batching for nothing (observed: 3x
+// the transport sends at equal restart counts). The engine classifies
+// the two at the collision site (core's conflicts check) and reports
+// only the transient kind in Signals.Conflicts.
+// The controller is deliberately memoryless
+// beyond its current window — the partner-selection probabilities are
+// refreshed every step (§4.5), so each step is a fresh sample of the
+// conflict landscape.
+//
+// The window is clamped to [Floor, Ceiling] and additionally to
+// |E_local|/4 each step (a rank must never hold more than a quarter of
+// its current partition in flight). With Ranks == 1 the controller pins
+// the window to exactly 1 regardless of signals: the single-rank engine
+// must realize the sequential Markov chain edge for edge, and a window
+// would draw first edges without replacement (see the p=1 equivalence
+// guard in internal/core).
+package window
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultStart matches the fixed pipelining window the controller
+	// replaces, so an adaptive run never starts worse than the fixed one.
+	DefaultStart = 64
+	// DefaultAdditive is the per-calm-step additive increase.
+	DefaultAdditive = 8
+	// DefaultBackoff is the multiplicative decrease applied after a lossy
+	// step (halving, the classic AIMD choice).
+	DefaultBackoff = 0.5
+	// DefaultLossHigh is the wasted-work fraction above which the window
+	// shrinks.
+	DefaultLossHigh = 0.15
+	// DefaultLossLow is the wasted-work fraction below which the window
+	// may grow; between the thresholds the window holds (hysteresis, so
+	// borderline steps do not oscillate).
+	DefaultLossLow = 0.05
+	// DefaultUtilization is the fraction of the current window the
+	// in-flight high-water mark must have reached for the window to grow:
+	// growing a window the step never filled adds conflict exposure
+	// without adding throughput.
+	DefaultUtilization = 0.75
+)
+
+// Config parameterises a Controller. The zero value selects the
+// documented defaults; Ranks must be set.
+type Config struct {
+	// Ranks is the communicator size. With Ranks == 1 the controller is
+	// pinned: Window always returns 1.
+	Ranks int
+	// Floor and Ceiling bound the window inclusively. Floor defaults to
+	// 1 (and is clamped up to 1); Ceiling defaults to no static bound —
+	// the per-step |E_local|/4 clamp still applies.
+	Floor, Ceiling int
+	// Start is the initial window, clamped into [Floor, Ceiling].
+	// Defaults to DefaultStart.
+	Start int
+	// Additive is the additive-increase step. Defaults to DefaultAdditive.
+	Additive int
+	// Backoff is the multiplicative-decrease factor in (0, 1). Defaults
+	// to DefaultBackoff.
+	Backoff float64
+	// LossHigh and LossLow are the shrink/grow thresholds on the wasted-
+	// work fraction. Default DefaultLossHigh/DefaultLossLow.
+	LossHigh, LossLow float64
+	// Utilization is the minimum InFlightHWM/window fraction required to
+	// grow. Defaults to DefaultUtilization.
+	Utilization float64
+}
+
+// Signals is one step's per-rank feedback, as accumulated by the
+// engine's stepStats (internal/core).
+type Signals struct {
+	// Started counts own operations begun this step (including ones that
+	// later aborted and were retried — each retry is a fresh start).
+	Started int64
+	// Committed counts own operations that completed.
+	Committed int64
+	// Aborts counts own operations that aborted and restarted (the
+	// engine's per-step restart count).
+	Aborts int64
+	// Conflicts counts owner-side *transient* reservation conflicts this
+	// rank reported to partners (its partition was the collision site and
+	// the collision was with an in-hand edge or a reservation — the
+	// window-induced kind). Structural rejections are excluded.
+	Conflicts int64
+	// ReserveFails counts failed reservations this rank observed while
+	// orchestrating operations for peers. The owner's reply does not say
+	// whether the failure was transient, so this is a diagnostic, not a
+	// loss input.
+	ReserveFails int64
+	// Flushes counts message-plane flushes forced by the step loop
+	// blocking — a high count relative to Started means batches are
+	// going out nearly empty and the window has room to grow.
+	Flushes int64
+	// InFlightHWM is the high-water mark of concurrently in-flight own
+	// operations during the step.
+	InFlightHWM int
+	// LocalEdges is the rank's edge count at the step boundary; the next
+	// window never exceeds LocalEdges/4.
+	LocalEdges int64
+}
+
+// Loss is the wasted-work fraction the thresholds compare against:
+// Conflicts / (Started + Conflicts), 0 when the step did nothing.
+// Aborts and ReserveFails are excluded — see the package comment: they
+// are dominated by structurally invalid switches the window size cannot
+// influence, and feeding them back collapses the window for no gain.
+func (s Signals) Loss() float64 {
+	waste := s.Conflicts
+	if waste <= 0 {
+		return 0
+	}
+	return float64(waste) / float64(waste+max64(s.Started, 1))
+}
+
+// Controller is one rank's AIMD window state. It is not safe for
+// concurrent use; each rank engine owns exactly one.
+type Controller struct {
+	cfg Config
+	win int
+	// observed diagnostics
+	steps   int64
+	grows   int64
+	shrinks int64
+	maxWin  int
+}
+
+// New builds a controller, applying defaults and clamping the starting
+// window into bounds.
+func New(cfg Config) *Controller {
+	if cfg.Floor < 1 {
+		cfg.Floor = 1
+	}
+	if cfg.Start <= 0 {
+		cfg.Start = DefaultStart
+	}
+	if cfg.Additive <= 0 {
+		cfg.Additive = DefaultAdditive
+	}
+	if cfg.Backoff <= 0 || cfg.Backoff >= 1 {
+		cfg.Backoff = DefaultBackoff
+	}
+	if cfg.LossHigh <= 0 {
+		cfg.LossHigh = DefaultLossHigh
+	}
+	if cfg.LossLow <= 0 || cfg.LossLow >= cfg.LossHigh {
+		cfg.LossLow = min(DefaultLossLow, cfg.LossHigh/2)
+	}
+	if cfg.Utilization <= 0 || cfg.Utilization > 1 {
+		cfg.Utilization = DefaultUtilization
+	}
+	if cfg.Ranks == 1 {
+		cfg.Floor, cfg.Ceiling, cfg.Start = 1, 1, 1
+	}
+	c := &Controller{cfg: cfg, win: clamp(cfg.Start, cfg.Floor, cfg.Ceiling)}
+	c.maxWin = c.win
+	return c
+}
+
+// Window returns the current window (always exactly 1 when Ranks == 1).
+func (c *Controller) Window() int { return c.win }
+
+// Max returns the largest window the controller has ever held (for
+// diagnostics and the p=1 pin assertion).
+func (c *Controller) Max() int { return c.maxWin }
+
+// Observe feeds one completed step's signals and returns the window for
+// the next step.
+func (c *Controller) Observe(s Signals) int {
+	c.steps++
+	if c.cfg.Ranks == 1 {
+		return 1 // pinned: sequential-chain equivalence
+	}
+	loss := s.Loss()
+	switch {
+	case loss > c.cfg.LossHigh:
+		// Multiplicative decrease: the step wasted a meaningful fraction
+		// of its work on conflicts its own in-flight edges helped cause.
+		w := int(float64(c.win) * c.cfg.Backoff)
+		if w < c.win {
+			c.shrinks++
+		}
+		c.win = w
+	case loss < c.cfg.LossLow && s.InFlightHWM >= int(float64(c.win)*c.cfg.Utilization):
+		// Additive increase, but only when the window was actually
+		// filled: an underused window gains nothing from growing.
+		c.win += c.cfg.Additive
+		c.grows++
+	}
+	c.win = clamp(c.win, c.cfg.Floor, c.cfg.Ceiling)
+	// A rank must never hold more than a quarter of its partition in
+	// flight, whatever the feedback says.
+	if lim := int(s.LocalEdges / 4); lim >= 1 && c.win > lim {
+		c.win = lim
+	} else if lim < 1 {
+		c.win = c.cfg.Floor
+	}
+	if c.win > c.maxWin {
+		c.maxWin = c.win
+	}
+	return c.win
+}
+
+// Stats reports controller activity for diagnostics.
+type Stats struct {
+	Steps, Grows, Shrinks int64
+	Window, MaxWindow     int
+}
+
+// Stats returns the controller's activity counters.
+func (c *Controller) Stats() Stats {
+	return Stats{Steps: c.steps, Grows: c.grows, Shrinks: c.shrinks, Window: c.win, MaxWindow: c.maxWin}
+}
+
+// clamp bounds w into [floor, ceiling]; ceiling <= 0 means unbounded.
+func clamp(w, floor, ceiling int) int {
+	if ceiling > 0 && w > ceiling {
+		w = ceiling
+	}
+	if w < floor {
+		w = floor
+	}
+	return w
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

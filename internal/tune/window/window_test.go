@@ -1,0 +1,139 @@
+package window
+
+import "testing"
+
+func calm(win int) Signals {
+	return Signals{Started: 1000, Committed: 1000, InFlightHWM: win, LocalEdges: 100000}
+}
+
+func lossy() Signals {
+	return Signals{Started: 1000, Committed: 600, Aborts: 400, Conflicts: 200, ReserveFails: 100, LocalEdges: 100000}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := New(Config{Ranks: 4})
+	if c.Window() != DefaultStart {
+		t.Fatalf("start window %d, want %d", c.Window(), DefaultStart)
+	}
+}
+
+func TestAdditiveIncreaseOnCalmUtilizedSteps(t *testing.T) {
+	c := New(Config{Ranks: 4})
+	w := c.Window()
+	for i := 0; i < 5; i++ {
+		nw := c.Observe(calm(c.Window()))
+		if nw != w+DefaultAdditive {
+			t.Fatalf("step %d: window %d, want %d", i, nw, w+DefaultAdditive)
+		}
+		w = nw
+	}
+	if st := c.Stats(); st.Grows != 5 || st.Shrinks != 0 || st.Steps != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNoGrowthWhenWindowUnderused(t *testing.T) {
+	c := New(Config{Ranks: 4})
+	s := calm(c.Window())
+	s.InFlightHWM = c.Window() / 4 // step never filled the window
+	if w := c.Observe(s); w != DefaultStart {
+		t.Fatalf("underused window grew: %d", w)
+	}
+}
+
+func TestMultiplicativeDecreaseOnLoss(t *testing.T) {
+	c := New(Config{Ranks: 4})
+	w := c.Observe(lossy())
+	if w != DefaultStart/2 {
+		t.Fatalf("window %d after loss, want %d", w, DefaultStart/2)
+	}
+	// Repeated loss decays geometrically down to the floor.
+	for i := 0; i < 20; i++ {
+		w = c.Observe(lossy())
+	}
+	if w != 1 {
+		t.Fatalf("window %d after sustained loss, want floor 1", w)
+	}
+}
+
+func TestHysteresisHoldsBetweenThresholds(t *testing.T) {
+	c := New(Config{Ranks: 4})
+	s := calm(c.Window())
+	s.Conflicts = 100 // loss ≈ 0.09: between LossLow and LossHigh
+	if w := c.Observe(s); w != DefaultStart {
+		t.Fatalf("window moved to %d inside the hysteresis band", w)
+	}
+}
+
+func TestCeilingAndLocalEdgeClamp(t *testing.T) {
+	c := New(Config{Ranks: 4, Ceiling: 70})
+	for i := 0; i < 10; i++ {
+		c.Observe(calm(c.Window()))
+	}
+	if c.Window() != 70 {
+		t.Fatalf("window %d, want ceiling 70", c.Window())
+	}
+	// A shrinking partition caps the window at |E_local|/4 regardless.
+	s := calm(c.Window())
+	s.LocalEdges = 40
+	if w := c.Observe(s); w != 10 {
+		t.Fatalf("window %d with 40 local edges, want 10", w)
+	}
+	// An emptied partition degrades to the floor, not zero.
+	s.LocalEdges = 2
+	if w := c.Observe(s); w != 1 {
+		t.Fatalf("window %d with 2 local edges, want 1", w)
+	}
+}
+
+func TestSingleRankPinnedToOne(t *testing.T) {
+	c := New(Config{Ranks: 1, Start: 64, Floor: 8, Ceiling: 256})
+	if c.Window() != 1 {
+		t.Fatalf("p=1 start window %d, want 1", c.Window())
+	}
+	for i := 0; i < 50; i++ {
+		if w := c.Observe(calm(1)); w != 1 {
+			t.Fatalf("p=1 window moved to %d", w)
+		}
+	}
+	if c.Max() != 1 {
+		t.Fatalf("p=1 max window %d, want 1", c.Max())
+	}
+}
+
+func TestFloorRespected(t *testing.T) {
+	c := New(Config{Ranks: 4, Floor: 16, Start: 16})
+	for i := 0; i < 10; i++ {
+		c.Observe(lossy())
+	}
+	if c.Window() != 16 {
+		t.Fatalf("window %d, want floor 16", c.Window())
+	}
+}
+
+func TestLossComputation(t *testing.T) {
+	if l := (Signals{}).Loss(); l != 0 {
+		t.Fatalf("empty step loss %v", l)
+	}
+	s := Signals{Started: 900, Conflicts: 100}
+	if l := s.Loss(); l != 0.1 {
+		t.Fatalf("loss %v, want 0.1", l)
+	}
+	// Partner-side failures are structural-or-not opaque: not loss.
+	s = Signals{Started: 900, ReserveFails: 500}
+	if l := s.Loss(); l != 0 {
+		t.Fatalf("reserve-fail-only loss %v, want 0", l)
+	}
+	// Structural aborts are not loss: shrinking the window cannot remove
+	// an invalid-switch rejection, so the controller must not see it.
+	s = Signals{Started: 500, Aborts: 500}
+	if l := s.Loss(); l != 0 {
+		t.Fatalf("abort-only loss %v, want 0", l)
+	}
+	// Zero starts with waste (pure owner/partner step) still yields a
+	// well-defined high loss instead of dividing by zero.
+	s = Signals{Conflicts: 100}
+	if l := s.Loss(); l <= 0.9 || l > 1 {
+		t.Fatalf("ownerless loss %v", l)
+	}
+}
