@@ -17,6 +17,9 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Exits 1 only on error-severity findings; warn-severity (e.g.
+# configdoc) is report-only. CI additionally uploads `esvet -sarif`
+# to code scanning.
 esvet:
 	$(GO) run ./cmd/esvet ./...
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -180,5 +181,127 @@ func TestRunOnRepository(t *testing.T) {
 	code, stdout, stderr := runCLI(t, "-root", filepath.Join("..", ".."))
 	if code != 0 {
 		t.Fatalf("esvet on the repository: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+// TestWarnSeverityDoesNotGate: a module whose only findings are
+// warn-severity must print them but exit 0.
+func TestWarnSeverityDoesNotGate(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"internal/core/cfg.go": `package core
+
+// Config configures the fixture.
+type Config struct {
+	Undocumented int
+}
+`,
+	})
+	code, stdout, stderr := runCLI(t, "-root", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (warnings are report-only)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[configdoc] warning:") {
+		t.Fatalf("warning not reported:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s), 0 gating") {
+		t.Fatalf("summary missing: %q", stderr)
+	}
+}
+
+// runGolden executes one esvet invocation against the fixture module
+// under testdata/module and compares stdout byte-for-byte with a golden
+// file. Regenerate with UPDATE_GOLDEN=1 go test ./cmd/esvet.
+func runGolden(t *testing.T, golden string, args ...string) {
+	t.Helper()
+	code, stdout, stderr := runCLI(t, append(args, "-root", filepath.Join("testdata", "module"))...)
+	// The fixture trips one error-severity finding, so the run must gate.
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	path := filepath.Join("testdata", golden)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("output differs from %s (rerun with UPDATE_GOLDEN=1 if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			path, stdout, want)
+	}
+}
+
+// TestGoldenJSON pins the -json diagnostic schema: field names,
+// severity strings, module-relative slash paths, and the
+// file/line/col/check sort order.
+func TestGoldenJSON(t *testing.T) {
+	runGolden(t, "golden.json", "-json")
+}
+
+// TestGoldenSARIF pins the -sarif output: the 2.1.0 envelope, one rule
+// per registered check with its gating level, and result locations.
+func TestGoldenSARIF(t *testing.T) {
+	runGolden(t, "golden.sarif", "-sarif")
+}
+
+// TestJSONSarifExclusive: the two machine formats cannot combine.
+func TestJSONSarifExclusive(t *testing.T) {
+	code, _, stderr := runCLI(t, "-json", "-sarif")
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestListMatchesReadme pins `esvet -list` against the README check
+// table: same checks, same order, same severity. A check added to the
+// registry without a README row (or vice versa) fails here.
+func TestListMatchesReadme(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit code = %d (stderr: %s)", code, stderr)
+	}
+	type row struct{ name, severity string }
+	var listed []row
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("unparseable -list line %q", line)
+		}
+		listed = append(listed, row{fields[0], fields[1]})
+	}
+
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check-table rows look like: | `name` | severity | invariant ... |
+	rowRE := regexp.MustCompile("(?m)^\\| `([a-z]+)` \\| (error|warn) \\|")
+	var documented []row
+	for _, m := range rowRE.FindAllStringSubmatch(string(readme), -1) {
+		documented = append(documented, row{m[1], m[2]})
+	}
+
+	if len(listed) != len(documented) {
+		t.Fatalf("-list has %d checks, README table has %d rows:\n%v\nvs\n%v", len(listed), len(documented), listed, documented)
+	}
+	for i := range listed {
+		if listed[i] != documented[i] {
+			t.Errorf("row %d: -list says %v, README says %v", i, listed[i], documented[i])
+		}
+	}
+	// And both must cover the registry exactly, in registration order.
+	names := analysis.CheckNames()
+	if len(names) != len(listed) {
+		t.Fatalf("registry has %d checks, -list shows %d", len(names), len(listed))
+	}
+	for i, name := range names {
+		if listed[i].name != name {
+			t.Errorf("registry order %d is %q, -list shows %q", i, name, listed[i].name)
+		}
 	}
 }

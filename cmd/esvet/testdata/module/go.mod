@@ -1,0 +1,3 @@
+module fixture.example/app
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package core is the golden-test fixture: a tiny module that trips a
+// deterministic mix of error- and warn-severity checks so the JSON and
+// SARIF outputs pin the diagnostic schema, module-relative paths, sort
+// order, and severity strings.
+package core
+
+import "math/rand"
+
+// Config configures the fixture run.
+type Config struct {
+	// Seed seeds the run.
+	Seed   int64
+	Fanout int
+}
+
+// Draw violates norand: randomness outside internal/rng.
+func Draw() int { return rand.Int() }

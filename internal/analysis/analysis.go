@@ -23,28 +23,56 @@ import (
 	"strings"
 )
 
+// Severity grades a finding. SevError findings gate CI (`make check`
+// fails, esvet exits 1); SevWarn findings are report-only — printed and
+// carried into JSON/SARIF output, but never fail the build.
+type Severity int
+
+const (
+	SevError Severity = iota
+	SevWarn
+)
+
+func (s Severity) String() string {
+	if s == SevWarn {
+		return "warn"
+	}
+	return "error"
+}
+
 // Diagnostic is one finding, positioned for editors (file:line:col).
 type Diagnostic struct {
-	Check   string `json:"check"`
-	File    string `json:"file"` // module-relative path
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"` // "error" or "warn"
+	File     string `json:"file"`     // module-relative path
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+	sev := ""
+	if d.Severity == SevWarn.String() {
+		sev = "warning: "
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s%s", d.File, d.Line, d.Col, d.Check, sev, d.Message)
 }
 
-// Check is one named rule. Run inspects a single package and reports
-// findings through the pass.
+// Check is one named rule. Exactly one of Run and RunModule is set:
+// Run inspects a single package per call; RunModule runs once over the
+// whole package set (for rules that need the cross-package call graph).
+// The zero Severity is SevError — report-only checks opt into SevWarn.
 type Check struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Severity  Severity
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
-// Checks returns every registered check in presentation order.
+// Checks returns every registered check in presentation order. The
+// README check table mirrors this order and TestListMatchesReadme pins
+// the two together.
 func Checks() []*Check {
 	return []*Check{
 		checkNoRand,
@@ -56,6 +84,10 @@ func Checks() []*Check {
 		checkNoPoll,
 		checkTag,
 		checkLockCollective,
+		checkCollSync,
+		checkHotAlloc,
+		checkSendOwned,
+		checkConfigDoc,
 	}
 }
 
@@ -72,36 +104,62 @@ func CheckNames() []string {
 // Pass carries one (check, package) run and collects its diagnostics.
 type Pass struct {
 	Pkg   *Package
-	check string
+	check *Check
 	out   *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Pkg.Fset.Position(pos)
+	*p.out = append(*p.out, diagnostic(p.check, p.Pkg, pos, format, args...))
+}
+
+// ModulePass carries one whole-module check run: the rule sees every
+// package at once (module checks build cross-package structures like the
+// call graph) and reports findings against the package owning each
+// position.
+type ModulePass struct {
+	Pkgs  []*Package
+	check *Check
+	out   *[]Diagnostic
+}
+
+// Reportf records a finding at pos, which must belong to pkg's FileSet.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, diagnostic(p.check, pkg, pos, format, args...))
+}
+
+func diagnostic(c *Check, pkg *Package, pos token.Pos, format string, args ...any) Diagnostic {
+	position := pkg.Fset.Position(pos)
 	file := position.Filename
-	if p.Pkg.Module != nil {
-		file = p.Pkg.Module.Rel(file)
+	if pkg.Module != nil {
+		file = pkg.Module.Rel(file)
 	}
-	*p.out = append(*p.out, Diagnostic{
-		Check:   p.check,
-		File:    file,
-		Line:    position.Line,
-		Col:     position.Column,
-		Message: fmt.Sprintf(format, args...),
-	})
+	return Diagnostic{
+		Check:    c.Name,
+		Severity: c.Severity.String(),
+		File:     file,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
 }
 
 // RunChecks executes the given checks (all registered ones if nil) over
-// the packages and returns the findings sorted by position.
+// the packages and returns the findings sorted by position. Package
+// checks run once per package; module checks run once over the whole
+// set.
 func RunChecks(pkgs []*Package, checks []*Check) []Diagnostic {
 	if checks == nil {
 		checks = Checks()
 	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, c := range checks {
-			c.Run(&Pass{Pkg: pkg, check: c.Name, out: &diags})
+	for _, c := range checks {
+		if c.RunModule != nil {
+			c.RunModule(&ModulePass{Pkgs: pkgs, check: c, out: &diags})
+			continue
+		}
+		for _, pkg := range pkgs {
+			c.Run(&Pass{Pkg: pkg, check: c, out: &diags})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -52,55 +52,55 @@ func TestChecksOnFixtures(t *testing.T) {
 		msg       string    // substring required in every message
 	}{
 		{
-			name: "norand fires in a deterministic package",
+			name:  "norand fires in a deterministic package",
 			check: "norand", variant: "bad", as: "internal/core",
 			want: []finding{{"bad.go", 6}, {"bad.go", 7}},
 			msg:  "internal/rng",
 		},
 		{
-			name: "norand exempts internal/rng itself",
+			name:  "norand exempts internal/rng itself",
 			check: "norand", variant: "bad", as: "internal/rng",
 		},
 		{
-			name: "norand silent on clean code",
+			name:  "norand silent on clean code",
 			check: "norand", variant: "good", as: "internal/core",
 		},
 		{
-			name: "notime fires in a deterministic package",
+			name:  "notime fires in a deterministic package",
 			check: "notime", variant: "bad", as: "internal/core",
 			want: []finding{{"bad.go", 8}, {"bad.go", 10}},
 			msg:  "internal/clock",
 		},
 		{
-			name: "notime exempts non-deterministic packages",
+			name:  "notime exempts non-deterministic packages",
 			check: "notime", variant: "bad", as: "internal/harness",
 		},
 		{
-			name: "notime resolves shadowing with type info",
+			name:  "notime resolves shadowing with type info",
 			check: "notime", variant: "good", as: "internal/core",
 			typecheck: true,
 		},
 		{
-			name: "notime overapproximates shadowing without type info",
+			name:  "notime overapproximates shadowing without type info",
 			check: "notime", variant: "good", as: "internal/core",
 			want: []finding{{"good.go", 14}},
 		},
 		{
-			name: "golifecycle fires in the runtime",
+			name:  "golifecycle fires in the runtime",
 			check: "golifecycle", variant: "bad", as: "internal/mpi",
 			want: []finding{{"bad.go", 7}, {"bad.go", 10}, {"bad.go", 11}},
 			msg:  "unmanaged goroutine",
 		},
 		{
-			name: "golifecycle exempts non-engine packages",
+			name:  "golifecycle exempts non-engine packages",
 			check: "golifecycle", variant: "bad", as: "internal/metrics",
 		},
 		{
-			name: "golifecycle accepts Done, recover and annotations",
+			name:  "golifecycle accepts Done, recover and annotations",
 			check: "golifecycle", variant: "good", as: "internal/mpi",
 		},
 		{
-			name: "copylock fires on by-value locks",
+			name:  "copylock fires on by-value locks",
 			check: "copylock", variant: "bad", as: "internal/mpi",
 			typecheck: true,
 			want: []finding{
@@ -115,60 +115,60 @@ func TestChecksOnFixtures(t *testing.T) {
 			msg: "by value",
 		},
 		{
-			name: "copylock silent on indirections",
+			name:  "copylock silent on indirections",
 			check: "copylock", variant: "good", as: "internal/mpi",
 			typecheck: true,
 		},
 		{
-			name: "mpierr fires on dropped transport errors",
+			name:  "mpierr fires on dropped transport errors",
 			check: "mpierr", variant: "bad", as: "internal/mpi",
 			typecheck: true,
-			want: []finding{{"bad.go", 19}, {"bad.go", 20}, {"bad.go", 24}},
-			msg:  "ignored",
+			want:      []finding{{"bad.go", 19}, {"bad.go", 20}, {"bad.go", 24}},
+			msg:       "ignored",
 		},
 		{
-			name: "mpierr exempts non-engine packages",
+			name:  "mpierr exempts non-engine packages",
 			check: "mpierr", variant: "bad", as: "cmd/esworker",
 		},
 		{
-			name: "mpierr accepts handled, discarded and deferred errors",
+			name:  "mpierr accepts handled, discarded and deferred errors",
 			check: "mpierr", variant: "good", as: "internal/mpi",
 			typecheck: true,
 		},
 		{
-			name: "noprint fires in library packages",
+			name:  "noprint fires in library packages",
 			check: "noprint", variant: "bad", as: "internal/metrics",
 			want: []finding{{"bad.go", 12}, {"bad.go", 13}, {"bad.go", 14}, {"bad.go", 15}},
 			msg:  "internal/metrics",
 		},
 		{
-			name: "noprint exempts cmd",
+			name:  "noprint exempts cmd",
 			check: "noprint", variant: "bad", as: "cmd/edgeswitch",
 		},
 		{
-			name: "noprint exempts examples",
+			name:  "noprint exempts examples",
 			check: "noprint", variant: "bad", as: "examples/quickstart",
 		},
 		{
-			name: "noprint silent on injected writers",
+			name:  "noprint silent on injected writers",
 			check: "noprint", variant: "good", as: "internal/metrics",
 		},
 		{
-			name: "nopoll fires on sleep loops in the runtime",
+			name:  "nopoll fires on sleep loops in the runtime",
 			check: "nopoll", variant: "bad", as: "internal/mpi",
 			want: []finding{{"bad.go", 7}, {"bad.go", 14}},
 			msg:  "sleep-polling",
 		},
 		{
-			name: "nopoll exempts non-engine packages",
+			name:  "nopoll exempts non-engine packages",
 			check: "nopoll", variant: "bad", as: "internal/harness",
 		},
 		{
-			name: "nopoll accepts blocking waits and annotated sleeps",
+			name:  "nopoll accepts blocking waits and annotated sleeps",
 			check: "nopoll", variant: "good", as: "internal/mpi",
 		},
 		{
-			name: "tagcheck fires on raw and one-sided tags",
+			name:  "tagcheck fires on raw and one-sided tags",
 			check: "tagcheck", variant: "bad", as: "internal/core",
 			typecheck: true,
 			want: []finding{
@@ -178,22 +178,22 @@ func TestChecksOnFixtures(t *testing.T) {
 			msg: "tag",
 		},
 		{
-			name: "tagcheck literal rule runs without type info",
+			name:  "tagcheck literal rule runs without type info",
 			check: "tagcheck", variant: "bad", as: "internal/core",
 			want: []finding{{"bad.go", 19}},
 			msg:  "raw integer tag",
 		},
 		{
-			name: "tagcheck exempts non-engine packages",
+			name:  "tagcheck exempts non-engine packages",
 			check: "tagcheck", variant: "bad", as: "internal/metrics",
 		},
 		{
-			name: "tagcheck accepts named, wildcard and annotated tags",
+			name:  "tagcheck accepts named, wildcard and annotated tags",
 			check: "tagcheck", variant: "good", as: "internal/core",
 			typecheck: true,
 		},
 		{
-			name: "lockcollective fires under held mutexes",
+			name:  "lockcollective fires under held mutexes",
 			check: "lockcollective", variant: "bad", as: "internal/core",
 			want: []finding{
 				{"bad.go", 22}, // Barrier under a deferred Unlock
@@ -202,12 +202,97 @@ func TestChecksOnFixtures(t *testing.T) {
 			msg: "holding",
 		},
 		{
-			name: "lockcollective exempts non-engine packages",
+			name:  "lockcollective exempts non-engine packages",
 			check: "lockcollective", variant: "bad", as: "internal/harness",
 		},
 		{
-			name: "lockcollective accepts released locks, literal scopes and annotations",
+			name:  "lockcollective accepts released locks, literal scopes and annotations",
 			check: "lockcollective", variant: "good", as: "internal/core",
+		},
+		{
+			name:  "collsync fires on rank-divergent collectives",
+			check: "collsync", variant: "bad", as: "internal/mpi",
+			typecheck: true,
+			want: []finding{
+				{"bad.go", 12}, // Barrier inside a rank branch
+				{"bad.go", 23}, // Barrier after a rank-keyed early return
+				{"bad.go", 32}, // call to sync() (performs Barrier) inside a rank branch
+			},
+			msg: "rank-dependent branch",
+		},
+		{
+			name:  "collsync exempts non-engine packages",
+			check: "collsync", variant: "bad", as: "internal/harness",
+		},
+		{
+			name:  "collsync accepts joins, sends and annotated sites",
+			check: "collsync", variant: "good", as: "internal/mpi",
+			typecheck: true,
+		},
+		{
+			name:  "hotalloc fires on every allocation shape below a root",
+			check: "hotalloc", variant: "bad", as: "internal/core",
+			typecheck: true,
+			want: []finding{
+				{"bad.go", 14}, // append
+				{"bad.go", 15}, // make
+				{"bad.go", 17}, // new
+				{"bad.go", 19}, // &composite literal
+				{"bad.go", 21}, // slice literal
+				{"bad.go", 28}, // fmt.Sprintf, reached via the call graph
+				{"bad.go", 30}, // string -> []byte conversion
+				{"bad.go", 32}, // capturing function literal
+				{"bad.go", 38}, // interface boxing
+			},
+			msg: "es:hotpath root",
+		},
+		{
+			name:  "hotalloc accepts waived freelist paths and fmt.Errorf",
+			check: "hotalloc", variant: "good", as: "internal/core",
+			typecheck: true,
+		},
+		{
+			name:  "hotalloc catches a Sprintf regression two calls below the loop",
+			check: "hotalloc", variant: "regress", as: "internal/core",
+			typecheck: true,
+			want:      []finding{{"regress.go", 21}},
+			msg:       "fmt.Sprintf",
+		},
+		{
+			name:  "sendowned fires on use-after-transfer",
+			check: "sendowned", variant: "bad", as: "internal/core",
+			typecheck: true,
+			want: []finding{
+				{"bad.go", 11}, // append after send
+				{"bad.go", 18}, // read after send
+				{"bad.go", 26}, // moved on one path, used at the join
+				{"bad.go", 32}, // recycled onto a freelist after send
+			},
+			msg: "SendOwned",
+		},
+		{
+			name:  "sendowned exempts non-engine packages",
+			check: "sendowned", variant: "bad", as: "internal/harness",
+			typecheck: true,
+		},
+		{
+			name:  "sendowned accepts rebinds, fresh loop buffers and annotations",
+			check: "sendowned", variant: "good", as: "internal/core",
+			typecheck: true,
+		},
+		{
+			name:  "configdoc fires on undocumented exported config fields",
+			check: "configdoc", variant: "bad", as: "internal/core",
+			want: []finding{
+				{"bad.go", 7},  // Config.Workers
+				{"bad.go", 13}, // DialOptions.Addr
+				{"bad.go", 14}, // DialOptions.Timeout
+			},
+			msg: "doc comment",
+		},
+		{
+			name:  "configdoc accepts documented, trailing-comment and embedded fields",
+			check: "configdoc", variant: "good", as: "internal/core",
 		},
 	}
 
@@ -243,8 +328,11 @@ func TestCheckCatalogue(t *testing.T) {
 	}
 	seen := make(map[string]bool)
 	for _, c := range Checks() {
-		if c.Name == "" || c.Doc == "" || c.Run == nil {
+		if c.Name == "" || c.Doc == "" {
 			t.Fatalf("check %+v incompletely registered", c)
+		}
+		if (c.Run == nil) == (c.RunModule == nil) {
+			t.Fatalf("check %q must set exactly one of Run and RunModule", c.Name)
 		}
 		if seen[c.Name] {
 			t.Fatalf("duplicate check name %q", c.Name)

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"edgeswitch/internal/analysis/flow"
+)
+
+// hotpathMarker marks a function declaration (in its doc comment, as
+// `//es:hotpath`) as a hot-path root: the per-operation engine step
+// loop and the send-buffer/freelist paths. checkHotAlloc walks the
+// static call graph from every root and audits everything it reaches.
+const hotpathMarker = "es:hotpath"
+
+// hotallocMarker waives one allocation site on a hot path. The
+// legitimate reasons are narrow — a freelist miss (the allocation IS
+// the slow path the freelist exists to avoid), amortized slice growth
+// (append into a recycled buffer), or a debug-gated branch — and the
+// comment must name which one applies.
+const hotallocMarker = "hotalloc:"
+
+// checkHotAlloc guards the engine's hot path against new heap
+// allocations. The per-operation cost of the switch loop is the whole
+// performance story of this codebase: the freelists, buffer recycling,
+// and arena reuse were bought deliberately, and a stray fmt.Sprintf or
+// boxed interface argument in a function three calls below stepLoop
+// silently hands the win back to the garbage collector. The check walks
+// the module call graph from every `//es:hotpath` root and flags, in
+// every reached function: append calls (may grow the backing array),
+// make/new, composite literals with slice or map backing (and any
+// &literal), fmt.* formatting calls, string<->[]byte/[]rune
+// conversions, capturing function literals (the closure allocates), and
+// concrete values passed into interface parameters (boxing). fmt.Errorf
+// is exempt along with its arguments: constructing an error is the cold
+// path by definition here.
+//
+// Static-call reachability under-approximates (interface and
+// function-value calls produce no edges), which is the useful polarity:
+// everything flagged really is on the hot path, and the transport
+// boundary — an interface — naturally ends the walk. Every intended
+// allocation carries a `// hotalloc: <reason>` waiver, so the check is
+// a ratchet: a new allocation needs either a freelist or a reviewed
+// excuse.
+var checkHotAlloc = &Check{
+	Name: "hotalloc",
+	Doc: "forbid unwaived heap allocations (append, make/new, literals, " +
+		"fmt, conversions, closures, interface boxing) in functions " +
+		"reachable from //es:hotpath roots",
+	RunModule: func(p *ModulePass) {
+		g := flow.BuildCallGraph(callGraphSources(p.Pkgs))
+		var roots []*flow.Node
+		for _, n := range g.Nodes() {
+			if n.Decl.Doc != nil && commentGroupHas(n.Decl.Doc, hotpathMarker) {
+				roots = append(roots, n)
+			}
+		}
+		if len(roots) == 0 {
+			return
+		}
+		reach := g.ReachableNodes(roots)
+		annotated := make(map[string]map[int]bool) // filename -> waived lines
+		for _, n := range g.Nodes() {
+			if reach.Root[n] == nil {
+				continue
+			}
+			pkg := p.Pkgs[n.PkgID]
+			file := declFile(pkg, n.Decl)
+			if file == nil {
+				continue
+			}
+			if annotated[file.Path] == nil {
+				annotated[file.Path] = commentLines(pkg.Fset, file.Ast, hotallocMarker)
+			}
+			hotAllocFunc(p, pkg, n, reach, annotated[file.Path])
+		}
+	},
+}
+
+// commentGroupHas reports whether any comment in the group contains the
+// marker.
+func commentGroupHas(g *ast.CommentGroup, marker string) bool {
+	for _, c := range g.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// declFile finds the parsed file containing the declaration.
+func declFile(pkg *Package, decl *ast.FuncDecl) *File {
+	name := pkg.Fset.Position(decl.Pos()).Filename
+	for _, f := range pkg.Files {
+		if f.Path == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// hotAllocFunc scans one reached function body for allocation sites.
+func hotAllocFunc(p *ModulePass, pkg *Package, n *flow.Node, reach flow.Reach, annotated map[int]bool) {
+	info := pkg.TypesInfo
+	where := hotPathAttribution(n, reach)
+	report := func(pos token.Pos, what string) {
+		line := pkg.Fset.Position(pos).Line
+		if annotated[line] || annotated[line-1] {
+			return
+		}
+		p.Reportf(pkg, pos, "%s %s (waive with // %s <reason>: freelist miss, amortized growth, or debug-gated)",
+			what, where, hotallocMarker)
+	}
+	skipLit := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.UnaryExpr:
+			if lit, ok := node.X.(*ast.CompositeLit); ok && node.Op == token.AND {
+				skipLit[lit] = true
+				report(node.Pos(), "&composite-literal escapes to the heap")
+			}
+		case *ast.CompositeLit:
+			if skipLit[node] {
+				return true
+			}
+			switch info.TypeOf(node).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(node.Pos(), "slice/map literal allocates its backing store")
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(info, pkg, node); capt != "" {
+				report(node.Pos(), "function literal captures "+capt+" — the closure allocates")
+			}
+		case *ast.CallExpr:
+			return hotAllocCall(info, node, report)
+		}
+		return true
+	})
+}
+
+// hotPathAttribution renders how a node got onto the hot path.
+func hotPathAttribution(n *flow.Node, reach flow.Reach) string {
+	root := reach.Root[n]
+	if root == n {
+		return "in //" + hotpathMarker + " root " + n.Name()
+	}
+	via := ""
+	if parent := reach.Parent[n]; parent != nil && parent != root {
+		via = " via " + parent.Name()
+	}
+	return "on the hot path (reached from //" + hotpathMarker + " root " + root.Name() + via + ")"
+}
+
+// hotAllocCall classifies one call expression. Returns false to prune
+// the walk below an exempt fmt.Errorf.
+func hotAllocCall(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			}
+			return true
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				if fun.Sel.Name == "Errorf" {
+					return false // error construction is the cold path
+				}
+				report(call.Pos(), "fmt."+fun.Sel.Name+" formats into fresh allocations")
+				return true
+			}
+		}
+	}
+	// Conversions to string / []byte / []rune copy their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if convAllocates(tv.Type, info.TypeOf(call.Args[0])) {
+			report(call.Pos(), "string/byte-slice conversion copies its operand")
+		}
+		return true
+	}
+	// Interface boxing at ordinary calls.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return true
+	}
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // f(xs...) passes the slice through, no boxing
+		}
+		pt := paramType(sig, i)
+		if pt == nil {
+			break
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isPointerShaped(at) {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants: the conversion is resolved at compile time or cached
+		}
+		report(arg.Pos(), "passing "+at.String()+" by value into an interface parameter boxes it")
+	}
+	return true
+}
+
+// paramType returns the effective type of argument i, unrolling the
+// variadic tail; nil when i is out of range for a non-variadic call.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// convAllocates reports whether a conversion from `from` to `to`
+// allocates: string <-> []byte/[]rune in either direction.
+func convAllocates(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports whether values of t live in a single pointer
+// word, so storing one in an interface does not allocate.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+// capturedVar returns the name of one variable a function literal
+// captures from its enclosing function ("" when the literal is
+// capture-free and therefore allocation-free). A variable is captured
+// when it resolves to a non-field *types.Var declared outside the
+// literal's span but not at package level.
+func capturedVar(info *types.Info, pkg *Package, lit *ast.FuncLit) string {
+	var pkgScope *types.Scope
+	if pkg.Types != nil {
+		pkgScope = pkg.Types.Scope()
+	}
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if pkgScope != nil && v.Parent() == pkgScope {
+			return true // package-level: no capture
+		}
+		if v.Pos().IsValid() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}

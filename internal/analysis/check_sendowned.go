@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"edgeswitch/internal/analysis/flow"
+)
+
+// sendownedMarker waives one use of a buffer after its SendOwned call
+// (e.g. a test asserting the transfer happened). The comment must say
+// why touching the transferred frame is safe.
+const sendownedMarker = "sendowned:"
+
+// checkSendOwned enforces the frame-ownership rule documented in
+// internal/mpi/frame.go: SendOwned(dst, tag, b) transfers ownership of
+// b to the transport — the send path may hold the slice on a queue, a
+// reconnect buffer, or hand it to the receiver's mailbox without
+// copying. Reading b after the call races with the transport; writing
+// to it corrupts a frame in flight; recycling it onto a freelist hands
+// the same backing array to two owners. That last shape is the
+// dangerous one here: the PR-5 send-buffer freelists make "recycle
+// after send" an attractive-looking optimization that is exactly the
+// bug.
+//
+// The rule is a forward may-analysis over the CFG: a local variable
+// passed as the buffer argument of SendOwned becomes moved; moved-ness
+// merges by union at joins (moved on ANY path in counts); rebinding the
+// variable (`b = sb.getBuf()`, `b = nil`) kills it. Any other mention
+// of a moved variable is a use-after-transfer. Function literals are
+// opaque (they run at an unknown time) and only plain identifier
+// buffers are tracked — an aliased or field-held buffer is the
+// transport's own business (internal/mpi tests cover those paths).
+//
+// Waive a site with `// sendowned: <reason>` on its line or the line
+// above.
+var checkSendOwned = &Check{
+	Name: "sendowned",
+	Doc: "forbid using a buffer after passing it to SendOwned (ownership " +
+		"transfers to the transport), in internal/mpi and internal/core",
+	Run: func(p *Pass) {
+		if !p.Pkg.Under(enginePaths...) || p.Pkg.TypesInfo == nil {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			if f.Test || f.BuildTagged {
+				continue
+			}
+			annotated := commentLines(p.Pkg.Fset, f.Ast, sendownedMarker)
+			for _, decl := range f.Ast.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !mentionsSendOwned(fn.Body) {
+					continue
+				}
+				sendOwnedFunc(p, fn, annotated)
+			}
+		}
+	},
+}
+
+func mentionsSendOwned(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "SendOwned" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// movedSet maps a moved variable to the position of the SendOwned call
+// that transferred it.
+type movedSet map[*types.Var]token.Pos
+
+func (m movedSet) clone() movedSet {
+	c := make(movedSet, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeInto unions src into dst, reporting whether dst changed.
+func mergeInto(dst, src movedSet) bool {
+	changed := false
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sendOwnedFunc runs the dataflow over one function body: fixpoint on
+// block-entry states first, then one reporting pass.
+func sendOwnedFunc(p *Pass, fn *ast.FuncDecl, annotated map[int]bool) {
+	cfg := flow.BuildCFG(fn.Body)
+	in := make(map[*flow.Block]movedSet)
+	in[cfg.Entry] = movedSet{}
+	work := []*flow.Block{cfg.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := in[blk].clone()
+		for _, node := range blk.Nodes {
+			p.sendOwnedNode(node, out, nil)
+		}
+		for _, s := range blk.Succs {
+			if in[s] == nil {
+				in[s] = out.clone()
+				work = append(work, s)
+			} else if mergeInto(in[s], out) {
+				work = append(work, s)
+			}
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	for _, blk := range cfg.Blocks {
+		state := in[blk]
+		if state == nil {
+			continue // unreachable block
+		}
+		state = state.clone()
+		for _, node := range blk.Nodes {
+			p.sendOwnedNode(node, state, func(id *ast.Ident, movedAt token.Pos) {
+				if reported[id.Pos()] {
+					return
+				}
+				line := p.Pkg.Fset.Position(id.Pos()).Line
+				if annotated[line] || annotated[line-1] {
+					return
+				}
+				reported[id.Pos()] = true
+				p.Reportf(id.Pos(),
+					"%s is used after SendOwned transferred it to the transport at line %d: "+
+						"the frame may be in flight or requeued — rebind the variable or drop it "+
+						"(annotate with // %s <reason> if the use is provably safe)",
+					id.Name, p.Pkg.Fset.Position(movedAt).Line, sendownedMarker)
+			})
+		}
+	}
+}
+
+// sendOwnedNode applies one CFG node to the moved set, in evaluation
+// order: uses are checked against the state at node entry, then
+// assignment targets kill, then SendOwned arguments move. report is nil
+// during the fixpoint pass.
+func (p *Pass) sendOwnedNode(node ast.Node, state movedSet, report func(*ast.Ident, token.Pos)) {
+	// Range heads only evaluate X and rebind Key/Value.
+	if rs, ok := node.(*ast.RangeStmt); ok {
+		if report != nil && rs.X != nil {
+			p.sendOwnedUses(rs.X, state, nil, report)
+		}
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if v := p.identVar(id); v != nil {
+					delete(state, v)
+				}
+			}
+		}
+		return
+	}
+
+	// The buffer identifiers moving in this node are not "uses".
+	moving := make(map[*ast.Ident]bool)
+	moves := sendOwnedMoves(node)
+	for _, mv := range moves {
+		moving[mv.arg] = true
+	}
+
+	if report != nil {
+		p.sendOwnedUses(node, state, moving, report)
+	}
+
+	// Assignment targets: a plain rebind kills moved-ness; writes
+	// through a moved buffer (b[0] = x) were already caught as uses.
+	if as, ok := node.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if v := p.identVar(id); v != nil {
+					delete(state, v)
+				}
+			}
+		}
+	}
+
+	for _, mv := range moves {
+		if v := p.identVar(mv.arg); v != nil {
+			state[v] = mv.pos
+		}
+	}
+}
+
+// sendOwnedUses reports every identifier in node that reads a moved
+// variable, skipping function literals, the moving identifiers
+// themselves, and plain assignment targets (handled as kills).
+func (p *Pass) sendOwnedUses(node ast.Node, state movedSet, moving map[*ast.Ident]bool, report func(*ast.Ident, token.Pos)) {
+	assignTargets := make(map[*ast.Ident]bool)
+	if as, ok := node.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				assignTargets[id] = true
+			}
+		}
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || moving[id] || assignTargets[id] {
+			return true
+		}
+		if v := p.identVar(id); v != nil {
+			if movedAt, moved := state[v]; moved {
+				report(id, movedAt)
+			}
+		}
+		return true
+	})
+}
+
+// identVar resolves an identifier to the local variable it denotes.
+func (p *Pass) identVar(id *ast.Ident) *types.Var {
+	obj := p.Pkg.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = p.Pkg.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+type sendOwnedMove struct {
+	arg *ast.Ident
+	pos token.Pos
+}
+
+// sendOwnedMoves finds SendOwned calls in the node (outside function
+// literals) whose buffer argument is a plain identifier.
+func sendOwnedMoves(node ast.Node) []sendOwnedMove {
+	var moves []sendOwnedMove
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "SendOwned" || len(call.Args) != 3 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[2]).(*ast.Ident); ok {
+			moves = append(moves, sendOwnedMove{arg: id, pos: call.Pos()})
+		}
+		return true
+	})
+	return moves
+}

@@ -1,0 +1,34 @@
+package mpi
+
+type comm struct{ rank int }
+
+func (c *comm) Rank() int { return c.rank }
+func (c *comm) Barrier()  {}
+
+// Collective directly inside a rank-dependent branch: only rank 0
+// enters the Barrier, every other rank sails past.
+func leaderOnly(c *comm) {
+	if c.Rank() == 0 {
+		c.Barrier()
+	}
+}
+
+// Early return keyed on a rank-derived local: ranks != 0 leave before
+// the collective.
+func earlyReturn(c *comm) {
+	r := c.Rank()
+	if r != 0 {
+		return
+	}
+	c.Barrier()
+}
+
+// sync performs a collective; hiding it one call deep must not hide
+// the divergence at the rank-branched call site.
+func sync(c *comm) { c.Barrier() }
+
+func hidden(c *comm) {
+	if c.Rank() == 0 {
+		sync(c)
+	}
+}

@@ -1,0 +1,43 @@
+package mpi
+
+type comm struct{ rank int }
+
+func (c *comm) Rank() int             { return c.rank }
+func (c *comm) Barrier()              {}
+func (c *comm) Bcast(r int, b []byte) {}
+func (c *comm) send(dst int)          {}
+
+// Collective after the rank branch joins: every rank reaches the
+// Bcast whichever arm it took.
+func joined(c *comm, b []byte) {
+	if c.Rank() == 0 {
+		b = append(b, 1)
+	}
+	c.Bcast(0, b)
+}
+
+// Rank-branched point-to-point sends are how collectives are built;
+// they are not themselves collectives.
+func fanout(c *comm) {
+	if c.Rank() == 0 {
+		c.send(1)
+	}
+}
+
+// Collective before the branch: fully synchronized, the divergence
+// afterwards is local work only.
+func gatherThenLocal(c *comm) int {
+	c.Barrier()
+	if c.Rank() != 0 {
+		return 0
+	}
+	return 1
+}
+
+// Waived: the comment explains why the divergence is safe here.
+func teardown(c *comm) {
+	if c.Rank() == 0 {
+		// collsync: fixture waiver — single-rank world, peers already exited
+		c.Barrier()
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+// Config configures the run.
+type Config struct {
+	// Seed seeds the experiment streams.
+	Seed    int64
+	Workers int
+	nprocs  int
+}
+
+// DialOptions configures transport dialing.
+type DialOptions struct {
+	Addr    string
+	Timeout int
+}
+
+// Plain is not a configuration struct: bare fields are fine.
+type Plain struct {
+	X int
+}

@@ -1,0 +1,22 @@
+package core
+
+// Config configures the run.
+type Config struct {
+	// Seed seeds the experiment streams.
+	Seed    int64
+	Workers int // Workers caps the executor pool; 0 means GOMAXPROCS.
+	nprocs  int
+}
+
+// Base carries defaults shared by the option structs.
+type Base struct{}
+
+// RunOptions configures one run.
+type RunOptions struct {
+	Base
+	// Trace enables the event log.
+	Trace bool
+}
+
+// Option mutates RunOptions before the run starts.
+type Option func(*RunOptions)

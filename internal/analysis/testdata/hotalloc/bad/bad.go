@@ -1,0 +1,43 @@
+package core
+
+import "fmt"
+
+type item struct{ a, b int }
+
+type engine struct {
+	buf  []byte
+	sink func()
+}
+
+//es:hotpath step is the per-operation loop body.
+func (e *engine) step(n int) {
+	e.buf = append(e.buf, byte(n))
+	m := make([]int, n)
+	_ = m
+	p := new(item)
+	_ = p
+	q := &item{a: n}
+	_ = q
+	s := []int{1, 2, 3}
+	_ = s
+	e.deeper(n)
+}
+
+// deeper is not annotated, but the walk from step reaches it.
+func (e *engine) deeper(n int) {
+	msg := fmt.Sprintf("step %d", n)
+	_ = msg
+	b := []byte(msg)
+	_ = b
+	e.sink = func() { _ = n }
+}
+
+func box(v any) { _ = v }
+
+//es:hotpath callBox forwards into an interface parameter.
+func callBox(n int) { box(n) }
+
+// cold is reached by no root: allocate freely.
+func cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,35 @@
+package core
+
+import "fmt"
+
+type pool struct{ free [][]byte }
+
+//es:hotpath getBuf is the freelist fast path.
+func (p *pool) getBuf() []byte {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	// hotalloc: freelist miss — this allocation is the slow path the freelist exists to avoid
+	return make([]byte, 0, 64)
+}
+
+//es:hotpath recycle returns a frame to the freelist.
+func (p *pool) recycle(b []byte) {
+	// hotalloc: amortized growth of the freelist backbone
+	p.free = append(p.free, b[:0])
+}
+
+//es:hotpath fail is the abort path out of the loop.
+func (p *pool) fail(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad op %d", n)
+	}
+	return nil
+}
+
+// coldSetup runs once before the loop: no root reaches it.
+func coldSetup() []int {
+	return make([]int, 1024)
+}

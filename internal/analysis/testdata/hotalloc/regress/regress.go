@@ -1,0 +1,22 @@
+package core
+
+import "fmt"
+
+type eng struct{ n int }
+
+//es:hotpath stepLoop drains the operation queue.
+func (e *eng) stepLoop() {
+	for i := 0; i < e.n; i++ {
+		e.apply(i)
+	}
+}
+
+func (e *eng) apply(i int) {
+	e.note(i)
+}
+
+// note is "just a little logging" added two calls below the loop —
+// the deliberate regression the guard must catch.
+func (e *eng) note(i int) {
+	_ = fmt.Sprintf("op %d", i)
+}

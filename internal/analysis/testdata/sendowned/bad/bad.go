@@ -1,0 +1,33 @@
+package core
+
+type comm struct{}
+
+func (c *comm) SendOwned(dst, tag int, data []byte) error { return nil }
+
+// Appending after the transfer races with the transport and may grow a
+// frame already in flight.
+func useAfterSend(c *comm, b []byte) {
+	_ = c.SendOwned(1, 2, b)
+	b = append(b, 0)
+}
+
+// Reading after the transfer observes a buffer the receiver may be
+// mutating.
+func readAfterSend(c *comm, b []byte) byte {
+	_ = c.SendOwned(1, 2, b)
+	return b[0]
+}
+
+// Moved on one path is moved at the join: the may-analysis unions.
+func branchMerge(c *comm, b []byte, x bool) int {
+	if x {
+		_ = c.SendOwned(1, 2, b)
+	}
+	return len(b)
+}
+
+// Recycling after the transfer is the freelist double-owner bug.
+func recycleAfterSend(c *comm, free *[][]byte, b []byte) {
+	_ = c.SendOwned(1, 2, b)
+	*free = append(*free, b[:0])
+}

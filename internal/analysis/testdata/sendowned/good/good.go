@@ -1,0 +1,35 @@
+package core
+
+type comm struct{}
+
+func (c *comm) SendOwned(dst, tag int, data []byte) error { return nil }
+
+// Rebinding kills the moved state: this b is a different buffer.
+func rebind(c *comm, b []byte) int {
+	_ = c.SendOwned(1, 2, b)
+	b = nil
+	return len(b)
+}
+
+// A fresh buffer per iteration: the define at the loop head kills the
+// previous iteration's move before any use.
+func loopFresh(c *comm, n int) {
+	for i := 0; i < n; i++ {
+		b := make([]byte, 8)
+		_ = c.SendOwned(1, 2, b)
+	}
+}
+
+// Send as the last touch, detach-then-send: the flushDst idiom.
+func flush(c *comm, bufs map[int][]byte, d int) error {
+	b := bufs[d]
+	bufs[d] = nil
+	return c.SendOwned(d, 2, b)
+}
+
+// Waived: the comment says why the use is safe.
+func waived(c *comm, b []byte) int {
+	_ = c.SendOwned(1, 2, b)
+	// sendowned: fixture waiver — stub transport retains nothing
+	return len(b)
+}

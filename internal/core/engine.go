@@ -423,6 +423,8 @@ func (e *rankEngine) broadcastCtl(kind msgKind) error {
 
 // stepLoop is the per-step event loop: drain messages, drive the own
 // operation, emit/collect end-of-step signals, block when idle.
+//
+//es:hotpath
 func (e *rankEngine) stepLoop() error {
 	p := e.c.Size()
 	for {
@@ -542,7 +544,7 @@ func (e *rankEngine) stepLoop() error {
 		}
 		if debugTrace {
 			e.trace("blocking: myOps=%d remaining=%d deg=%d eos=%d stalled=%d myStalled=%v sentEOS=%v partnerOps=%d",
-				len(e.myOps), e.remaining, e.deg.Total(), e.eosOthers, e.stalledCount, e.myStalled, e.sentEOS, len(e.partnerOps))
+				len(e.myOps), e.remaining, e.deg.Total(), e.eosOthers, e.stalledCount, e.myStalled, e.sentEOS, len(e.partnerOps)) // hotalloc: debug-gated trace arguments (debugTrace const)
 		}
 		m, err := e.c.Recv(mpi.AnySource, opTag)
 		if err != nil {
@@ -674,14 +676,14 @@ func (e *rankEngine) pickPartner() int {
 	}
 	x := e.rnd.Int64n(e.cumEdges[len(e.cumEdges)-1])
 	// First rank whose cumulative range contains x.
-	idx := sort.Search(len(e.cumEdges)-1, func(i int) bool { return e.cumEdges[i+1] > x })
+	idx := sort.Search(len(e.cumEdges)-1, func(i int) bool { return e.cumEdges[i+1] > x }) // hotalloc: non-escaping closure; sort.Search does not retain it, so it stays on the stack
 	return idx
 }
 
 func (e *rankEngine) send(dst int, m opMsg) error {
 	e.msgsSent++
 	if dst == e.c.Rank() {
-		e.selfQ = append(e.selfQ, m)
+		e.selfQ = append(e.selfQ, m) // hotalloc: amortized; selfQ is a reusable double-buffer drained every loop pass
 		return nil
 	}
 	e.sb.add(dst, m)
@@ -873,11 +875,11 @@ func (e *rankEngine) newPartnerOp() *partnerOp {
 		e.poFree = e.poFree[:n-1]
 		return op
 	}
-	return new(partnerOp)
+	return new(partnerOp) // hotalloc: freelist miss; the pool exists to make this the rare path
 }
 
 func (e *rankEngine) freePartnerOp(op *partnerOp) {
-	e.poFree = append(e.poFree, op)
+	e.poFree = append(e.poFree, op) // hotalloc: freelist return; amortized growth of the partnerOp pool backbone
 }
 
 func (op *partnerOp) edgeIndex(ed graph.Edge) (int, error) {
@@ -965,7 +967,7 @@ func (e *rankEngine) handle(m mpi.Message) error {
 // handleMsg dispatches one protocol message from src.
 func (e *rankEngine) handleMsg(om opMsg, src int) error {
 	if debugTrace {
-		e.trace("recv %v %v e=%v from %d", om.kind, om.id, om.e1, src)
+		e.trace("recv %v %v e=%v from %d", om.kind, om.id, om.e1, src) // hotalloc: debug-gated trace arguments (debugTrace const)
 	}
 	switch om.kind {
 	case mSelectSecond:
@@ -1025,6 +1027,6 @@ var traceOut io.Writer = os.Stderr
 
 func (e *rankEngine) trace(format string, args ...any) {
 	if debugTrace {
-		fmt.Fprintf(traceOut, "[rank %d] %s\n", e.c.Rank(), fmt.Sprintf(format, args...))
+		fmt.Fprintf(traceOut, "[rank %d] %s\n", e.c.Rank(), fmt.Sprintf(format, args...)) // hotalloc: debug-gated; debugTrace is a compile-time const, this path is dead in production builds
 	}
 }

@@ -140,8 +140,8 @@ func (m opMsg) encodeInto(buf []byte) {
 func appendOpMsg(buf []byte, m opMsg) []byte {
 	var rec [opMsgLen]byte
 	m.encodeInto(rec[:])
-	buf = append(buf, byte(opMsgLen))
-	return append(buf, rec[:]...)
+	buf = append(buf, byte(opMsgLen)) // hotalloc: amortized; batch buffers come presized from the freelist
+	return append(buf, rec[:]...)     // hotalloc: amortized; batch buffers come presized from the freelist
 }
 
 // forEachOpMsg decodes a batch payload record by record, stopping at the

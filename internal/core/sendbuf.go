@@ -51,6 +51,8 @@ func (sb *sendBuffer) init(c *mpi.Comm) {
 }
 
 // getBuf pops a recycled buffer or allocates a presized fresh one.
+//
+//es:hotpath
 func (sb *sendBuffer) getBuf() []byte {
 	if n := len(sb.free); n > 0 {
 		b := sb.free[n-1]
@@ -58,22 +60,26 @@ func (sb *sendBuffer) getBuf() []byte {
 		sb.free = sb.free[:n-1]
 		return b
 	}
-	return make([]byte, 0, initialBatchCap)
+	return make([]byte, 0, initialBatchCap) // hotalloc: freelist miss; presized so the buffer never regrows in steady state
 }
 
 // recycle returns a buffer the caller has finished reading — usually
 // one that arrived from a peer via SendOwned — to this rank's freelist.
+//
+//es:hotpath
 func (sb *sendBuffer) recycle(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledBatch || len(sb.free) >= maxFreeBufs {
 		return
 	}
-	sb.free = append(sb.free, b[:0])
+	sb.free = append(sb.free, b[:0]) // hotalloc: freelist return, bounded by maxFreeBufs
 }
 
 // add queues m for dst. Messages to one destination are delivered in
 // add order within and across batches (the transports are FIFO per
 // (src,dst) pair), so coalescing preserves the protocol's ordering
 // assumptions.
+//
+//es:hotpath
 func (sb *sendBuffer) add(dst int, m opMsg) {
 	if sb.bufs[dst] == nil {
 		sb.bufs[dst] = sb.getBuf()
@@ -83,6 +89,8 @@ func (sb *sendBuffer) add(dst int, m opMsg) {
 
 // flushDst hands dst's pending batch to the transport, transferring
 // buffer ownership to the receiver.
+//
+//es:hotpath
 func (sb *sendBuffer) flushDst(dst int) error {
 	b := sb.bufs[dst]
 	if len(b) == 0 {
@@ -93,6 +101,8 @@ func (sb *sendBuffer) flushDst(dst int) error {
 }
 
 // flush sends every pending batch.
+//
+//es:hotpath
 func (sb *sendBuffer) flush() error {
 	for dst, b := range sb.bufs {
 		if len(b) == 0 {

@@ -39,7 +39,7 @@ type NodeArena struct {
 
 func (a *NodeArena) get(v Vertex, original bool, prio uint32) *treapNode {
 	if a == nil || a.free == nil {
-		return &treapNode{key: v, prio: prio, size: 1, original: original}
+		return &treapNode{key: v, prio: prio, size: 1, original: original} // hotalloc: arena miss; the arena exists to make this the rare path
 	}
 	n := a.free
 	a.free = n.left
@@ -157,6 +157,7 @@ func (s *AdjSet) Delete(v Vertex) (found, original bool) {
 // later InsertArena; a nil arena leaves it to the GC.
 func (s *AdjSet) DeleteArena(a *NodeArena, v Vertex) (found, original bool) {
 	var del func(n *treapNode) *treapNode
+	// hotalloc: recursive helper needs the self-reference; one closure per delete, amortized over the node walk
 	del = func(n *treapNode) *treapNode {
 		if n == nil {
 			return nil

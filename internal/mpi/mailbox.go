@@ -154,9 +154,9 @@ func (mb *mailbox) takeAllInto(src, tag int, out []Message) []Message {
 	kept := mb.queue[:0]
 	for _, m := range mb.queue {
 		if match(m, src, tag) {
-			out = append(out, m)
+			out = append(out, m) // hotalloc: amortized; out is the caller's reusable drain buffer
 		} else {
-			kept = append(kept, m)
+			kept = append(kept, m) // hotalloc: in-place compaction; kept aliases queue's backing array and cannot grow
 		}
 	}
 	// Zero the tail so released messages can be collected.
