@@ -7,7 +7,7 @@ GO ?= go
 # slower and adds nothing — everything else is single-goroutine).
 RACE_PKGS := ./internal/mpi/... ./internal/core/...
 
-.PHONY: check build vet esvet test race racedist bench benchsmoke clean
+.PHONY: check build vet esvet test race racedist bench benchsmoke largesmoke clean
 
 check: build vet esvet test race racedist
 
@@ -40,13 +40,26 @@ bench:
 
 # One tiny iteration of the engine-step benchmarks on small inputs
 # (proves the bench harness still runs, without measuring anything),
-# plus the adaptive-window regression guard: one full-size run of the
-# tiny-uniform high-conflict config, failing if transport sends or
-# restarts regress >2x against the committed BENCH_adaptive.json
-# baseline. CI runs this so benchmark and controller rot is caught early.
+# plus the regression guards: one full-size run of the tiny-uniform
+# high-conflict config, failing if transport sends or restarts regress
+# >2x against the committed BENCH_adaptive.json baseline, and one
+# replay of the generation-bootstrap guard config (pa n=100k p=8),
+# failing if the deterministic edge count drifts or the pergen speedup
+# over the file bootstrap collapses below half the committed
+# BENCH_pergen.json value. CI runs this so benchmark, controller, and
+# generator rot is caught early.
 benchsmoke:
 	$(GO) test -short -run=^$$ -bench=BenchmarkEngineStep -benchtime=1x ./internal/core/
+	$(GO) test -short -run=^$$ -bench=BenchmarkGenerate -benchtime=1x ./internal/core/
 	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokeAdaptiveRegression$$' -v ./internal/core/
+	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokePergenRegression$$' -v ./internal/core/
+
+# Large-graph generation smoke: a >=10^7-edge preferential-attachment
+# graph through the communication-free bootstrap at p=8, pinned to the
+# exact deterministic edge count in BENCH_pergen.json and time-boxed by
+# the -timeout.
+largesmoke:
+	ESLARGE=1 $(GO) test -run='^TestLargeGenSmoke$$' -v -timeout 10m ./internal/core/
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	edgeswitch -dataset miami -scale 0.1 -x 1 -p 8 -scheme HP-U
 //	edgeswitch -in graph.txt -t 1000000 -p 16 -scheme CP -steps 100 -out shuffled.txt
 //	edgeswitch -in graph.txt -x 0.5            # sequential, half the edges
+//	edgeswitch -gen pa -n 1000000 -d 10 -p 8   # distributed bootstrap: no rank holds the whole graph
 package main
 
 import (
@@ -25,6 +26,9 @@ func main() {
 		inPath  = flag.String("in", "", "input edge-list file (text, or binary with .bin extension)")
 		dataset = flag.String("dataset", "", "generate a dataset stand-in instead of reading a file (one of: miami newyork losangeles flickr livejournal smallworld erdosrenyi pa)")
 		scale   = flag.Float64("scale", 1, "dataset scale multiplier (with -dataset)")
+		genMod  = flag.String("gen", "", "counter-based generator model (pa, contact): with -p>1 every rank generates only its own partition — no rank-0 materialization, no scatter")
+		genN    = flag.Int("n", 100000, "vertex count (with -gen)")
+		genD    = flag.Int("d", 10, "degree parameter (with -gen: pa edges per vertex, contact average degree)")
 		outPath = flag.String("out", "", "write the switched graph to this file")
 		tOps    = flag.Int64("t", 0, "number of edge switch operations (0: derive from -x)")
 		x       = flag.Float64("x", 1, "target visit rate in (0,1] used when -t is 0")
@@ -40,34 +44,73 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*inPath, *dataset, *scale, *outPath, *tOps, *x, *ranks, *scheme, *steps, *seed, *useTCP, *adapt, *quiet, *mode, *left); err != nil {
+	if err := run(*inPath, *dataset, *scale, *genMod, *genN, *genD, *outPath, *tOps, *x, *ranks, *scheme, *steps, *seed, *useTCP, *adapt, *quiet, *mode, *left); err != nil {
 		fmt.Fprintln(os.Stderr, "edgeswitch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, dataset string, scale float64, outPath string, tOps int64, x float64,
+// genSpec maps the -gen/-n/-d flags to a counter-based generator spec.
+func genSpec(model string, n, d int, seed uint64) (*edgeswitch.GenSpec, error) {
+	switch model {
+	case "pa":
+		return &edgeswitch.GenSpec{Model: edgeswitch.GenPA, Seed: seed, N: n, D: d}, nil
+	case "contact":
+		return &edgeswitch.GenSpec{Model: edgeswitch.GenContact, Seed: seed, N: n,
+			Contact: edgeswitch.ContactConfig{AvgDegree: float64(d), CommunitySize: 40, WithinFrac: 0.8}}, nil
+	default:
+		return nil, fmt.Errorf("-gen supports models pa and contact, not %q", model)
+	}
+}
+
+func run(inPath, dataset string, scale float64, genMod string, genN, genD int, outPath string, tOps int64, x float64,
 	ranks int, scheme string, steps int64, seed uint64, useTCP, adaptive, quiet bool, mode string, left int) error {
 
 	var g *edgeswitch.Graph
+	var spec *edgeswitch.GenSpec
 	var err error
 	switch {
-	case inPath != "" && dataset != "":
-		return fmt.Errorf("use either -in or -dataset, not both")
+	case inPath != "" && dataset != "" || genMod != "" && (inPath != "" || dataset != ""):
+		return fmt.Errorf("use exactly one of -in, -dataset, -gen")
+	case genMod != "":
+		if spec, err = genSpec(genMod, genN, genD, seed); err != nil {
+			return err
+		}
+		if mode != "" && mode != "plain" {
+			return fmt.Errorf("-gen supports only the plain mode")
+		}
+		if ranks <= 1 {
+			// Sequential runs materialize the (identical) graph anyway;
+			// go through the same path as everyone else so the per-mode
+			// switch below applies.
+			if g, err = edgeswitch.GenerateSpec(*spec); err != nil {
+				return err
+			}
+			spec = nil
+		}
 	case inPath != "":
 		g, err = edgeswitch.LoadGraphFile(inPath, seed)
 	case dataset != "":
 		g, err = edgeswitch.Generate(dataset, scale, seed)
 	default:
-		return fmt.Errorf("need -in FILE or -dataset NAME (datasets: %v)", edgeswitch.Datasets())
+		return fmt.Errorf("need -in FILE, -dataset NAME (datasets: %v) or -gen MODEL", edgeswitch.Datasets())
 	}
 	if err != nil {
 		return err
 	}
 
+	// With a distributed-generation spec there is no materialized graph
+	// here: derive t from the spec's deterministic edge bound, exactly as
+	// every rank will.
+	mEdges := int64(0)
+	if g != nil {
+		mEdges = g.M()
+	} else {
+		mEdges = spec.MaxEdges()
+	}
 	t := tOps
 	if t == 0 {
-		t, err = edgeswitch.TargetOps(g.M(), x)
+		t, err = edgeswitch.TargetOps(mEdges, x)
 		if err != nil {
 			return err
 		}
@@ -76,7 +119,12 @@ func run(inPath, dataset string, scale float64, outPath string, tOps int64, x fl
 	if steps > 1 {
 		stepSize = (t + steps - 1) / steps
 	}
-	fmt.Printf("graph: n=%d m=%d | t=%d ops | p=%d scheme=%s mode=%s\n", g.N(), g.M(), t, ranks, scheme, mode)
+	if g != nil {
+		fmt.Printf("graph: n=%d m=%d | t=%d ops | p=%d scheme=%s mode=%s\n", g.N(), g.M(), t, ranks, scheme, mode)
+	} else {
+		fmt.Printf("graph: gen=%s n=%d m<=%d (distributed, no rank materializes it) | t=%d ops | p=%d scheme=%s\n",
+			genMod, genN, mEdges, t, ranks, scheme)
+	}
 
 	var rep *edgeswitch.Report
 	switch mode {
@@ -89,6 +137,7 @@ func run(inPath, dataset string, scale float64, outPath string, tOps int64, x fl
 			Seed:           seed,
 			UseTCP:         useTCP,
 			AdaptiveWindow: adaptive,
+			Gen:            spec,
 		})
 	case "connected":
 		rep, err = edgeswitch.RunConnected(g, t, seed)

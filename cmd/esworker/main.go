@@ -14,6 +14,13 @@
 // or let rank 0 spawn its peers locally:
 //
 //	esworker -graph g.txt -size 4 -rank 0 -coordinator 127.0.0.1:9870 -x 1 -spawn
+//
+// With -gen (models pa, contact) no graph file exists at all: every rank
+// derives its own partition from the shared (model, n, d, seed) spec via
+// the counter-based generator — the communication-free bootstrap. The
+// resulting graph is identical at every -size for the same seed.
+//
+//	esworker -gen pa -n 10000000 -d 10 -size 8 -rank 0 -coordinator 127.0.0.1:9870 -spawn
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 
 	"edgeswitch"
 	"edgeswitch/internal/core"
+	"edgeswitch/internal/gen"
+	"edgeswitch/internal/gen/pergen"
 	"edgeswitch/internal/graph"
 	"edgeswitch/internal/mpi"
 )
@@ -33,6 +42,9 @@ import (
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "edge-list file every rank loads (text, or binary with .bin)")
+		genMod    = flag.String("gen", "", "generate instead of loading: counter-based model (pa, contact); each rank builds only its own partition")
+		genN      = flag.Int("n", 100000, "vertex count (with -gen)")
+		genD      = flag.Int("d", 10, "degree parameter (with -gen: pa edges per vertex, contact average degree)")
 		size      = flag.Int("size", 1, "total number of ranks")
 		rank      = flag.Int("rank", 0, "this process's rank")
 		coord     = flag.String("coordinator", "127.0.0.1:9870", "rank 0's listen address")
@@ -40,32 +52,61 @@ func main() {
 		x         = flag.Float64("x", 1, "target visit rate when -t is 0")
 		scheme    = flag.String("scheme", "HP-U", "partitioning scheme: CP, HP-D, HP-M, HP-U")
 		steps     = flag.Int64("steps", 1, "number of steps")
-		seed      = flag.Uint64("seed", 1, "random seed (must match across ranks)")
+		seed      = flag.Uint64("seed", 1, "random seed (must match across ranks; with -gen it defines the graph)")
 		outPath   = flag.String("out", "", "rank 0 writes the switched graph here")
 		spawn     = flag.Bool("spawn", false, "rank 0 spawns ranks 1..size-1 as local child processes")
 		timeout   = flag.Duration("timeout", 30*time.Second, "coordinator dial timeout")
 		writeTO   = flag.Duration("write-timeout", 30*time.Second, "transport write deadline (a dead peer surfaces within this)")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *size, *rank, *coord, *tOps, *x, *scheme, *steps, *seed, *outPath, *spawn, *timeout, *writeTO); err != nil {
+	if err := run(*graphPath, *genMod, *genN, *genD, *size, *rank, *coord, *tOps, *x, *scheme, *steps, *seed, *outPath, *spawn, *timeout, *writeTO); err != nil {
 		fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", *rank, err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath string, size, rank int, coord string, tOps int64, x float64,
+// genSpec maps the -gen/-n/-d flags to a counter-based generator spec.
+func genSpec(model string, n, d int, seed uint64) (*pergen.Spec, error) {
+	switch model {
+	case "pa":
+		return &pergen.Spec{Model: pergen.ModelPA, Seed: seed, N: n, D: d}, nil
+	case "contact":
+		return &pergen.Spec{Model: pergen.ModelContact, Seed: seed, N: n,
+			Contact: gen.ContactConfig{AvgDegree: float64(d), CommunitySize: 40, WithinFrac: 0.8}}, nil
+	default:
+		return nil, fmt.Errorf("-gen supports models pa and contact, not %q", model)
+	}
+}
+
+func run(graphPath, genMod string, genN, genD, size, rank int, coord string, tOps int64, x float64,
 	scheme string, steps int64, seed uint64, outPath string, spawn bool, timeout, writeTO time.Duration) error {
 
-	if graphPath == "" {
-		return fmt.Errorf("need -graph FILE")
-	}
-	g, err := edgeswitch.LoadGraphFile(graphPath, seed)
-	if err != nil {
-		return err
+	var g *graph.Graph
+	var spec *pergen.Spec
+	var mEdges int64
+	var err error
+	switch {
+	case graphPath != "" && genMod != "":
+		return fmt.Errorf("use either -graph or -gen, not both")
+	case genMod != "":
+		if spec, err = genSpec(genMod, genN, genD, seed); err != nil {
+			return err
+		}
+		if err = spec.Validate(); err != nil {
+			return err
+		}
+		mEdges = spec.MaxEdges()
+	case graphPath != "":
+		if g, err = edgeswitch.LoadGraphFile(graphPath, seed); err != nil {
+			return err
+		}
+		mEdges = g.M()
+	default:
+		return fmt.Errorf("need -graph FILE or -gen MODEL")
 	}
 	t := tOps
 	if t == 0 {
-		t, err = edgeswitch.TargetOps(g.M(), x)
+		t, err = edgeswitch.TargetOps(mEdges, x)
 		if err != nil {
 			return err
 		}
@@ -77,13 +118,13 @@ func run(graphPath string, size, rank int, coord string, tOps int64, x float64,
 
 	var children []*exec.Cmd
 	if spawn && rank == 0 {
-		children, err = spawnChildren(graphPath, size, coord, t, scheme, steps, seed, timeout)
+		children, err = spawnChildren(graphPath, genMod, genN, genD, size, coord, t, scheme, steps, seed, timeout)
 		if err != nil {
 			_ = reapChildren(children, true)
 			return err
 		}
 	}
-	if err := runRank(g, size, rank, coord, t, scheme, stepSize, seed, outPath, timeout, writeTO); err != nil {
+	if err := runRank(g, spec, size, rank, coord, t, scheme, stepSize, seed, outPath, timeout, writeTO); err != nil {
 		// Rank 0 failed (bad join, lost peer, ...): kill and reap the
 		// spawned ranks instead of orphaning them, and report our error —
 		// it is the cause, the children's exits are consequences.
@@ -98,7 +139,7 @@ func run(graphPath string, size, rank int, coord string, tOps int64, x float64,
 // spawnChildren starts ranks 1..size-1 as local processes running this
 // executable. On a start failure it returns the children started so far
 // alongside the error, so the caller can reap them.
-func spawnChildren(graphPath string, size int, coord string, t int64,
+func spawnChildren(graphPath, genMod string, genN, genD, size int, coord string, t int64,
 	scheme string, steps int64, seed uint64, timeout time.Duration) ([]*exec.Cmd, error) {
 
 	exe, err := os.Executable()
@@ -107,8 +148,7 @@ func spawnChildren(graphPath string, size int, coord string, t int64,
 	}
 	var children []*exec.Cmd
 	for r := 1; r < size; r++ {
-		cmd := exec.Command(exe,
-			"-graph", graphPath,
+		args := []string{
 			"-size", strconv.Itoa(size),
 			"-rank", strconv.Itoa(r),
 			"-coordinator", coord,
@@ -117,7 +157,15 @@ func spawnChildren(graphPath string, size int, coord string, t int64,
 			"-steps", strconv.FormatInt(steps, 10),
 			"-seed", strconv.FormatUint(seed, 10),
 			"-timeout", timeout.String(),
-		)
+		}
+		if genMod != "" {
+			// The generation spec must reach every rank verbatim — the
+			// seed and parameters ARE the graph.
+			args = append(args, "-gen", genMod, "-n", strconv.Itoa(genN), "-d", strconv.Itoa(genD))
+		} else {
+			args = append(args, "-graph", graphPath)
+		}
+		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -148,8 +196,9 @@ func reapChildren(children []*exec.Cmd, kill bool) error {
 }
 
 // runRank joins the distributed world, runs this rank, and (on rank 0)
-// reports and saves the result.
-func runRank(g *graph.Graph, size, rank int, coord string, t int64, scheme string,
+// reports and saves the result. Exactly one of g (loaded graph) and spec
+// (distributed generation) is non-nil.
+func runRank(g *graph.Graph, spec *pergen.Spec, size, rank int, coord string, t int64, scheme string,
 	stepSize int64, seed uint64, outPath string, timeout, writeTO time.Duration) (err error) {
 
 	pw, err := mpi.JoinDistributed(rank, size, coord, timeout, mpi.WithWriteTimeout(writeTO))
@@ -167,9 +216,10 @@ func runRank(g *graph.Graph, size, rank int, coord string, t int64, scheme strin
 	var res *core.Result
 	err = pw.Run(func(c *mpi.Comm) error {
 		r, err := core.RunRank(c, g, t, core.Config{
-			Scheme:   core.Scheme(scheme),
-			StepSize: stepSize,
-			Seed:     seed,
+			Scheme:         core.Scheme(scheme),
+			StepSize:       stepSize,
+			Seed:           seed,
+			DistributedGen: spec,
 		})
 		if err != nil {
 			return err

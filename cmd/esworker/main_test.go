@@ -31,7 +31,7 @@ func TestMain(m *testing.M) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		err = run(os.Getenv("ESWORKER_TEST_GRAPH"), size, rank, os.Getenv("ESWORKER_TEST_COORD"),
+		err = run(os.Getenv("ESWORKER_TEST_GRAPH"), os.Getenv("ESWORKER_TEST_GEN"), 600, 4, size, rank, os.Getenv("ESWORKER_TEST_COORD"),
 			30, 1, "HP-D", 3, 9, "", false, 10*time.Second, 10*time.Second)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", rank, err)
@@ -66,7 +66,7 @@ func writeTestGraph(t *testing.T) string {
 func TestRunSingleRank(t *testing.T) {
 	g := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "out.txt")
-	err := run(g, 1, 0, freePort(t), 20, 1, "CP", 1, 3, out, false, 5*time.Second, 5*time.Second)
+	err := run(g, "", 0, 0, 1, 0, freePort(t), 20, 1, "CP", 1, 3, out, false, 5*time.Second, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestRunMultiRankInProcess(t *testing.T) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = run(g, size, rank, addr, 30, 1, "HP-D", 3, 9, "", false, 10*time.Second, 10*time.Second)
+			errs[rank] = run(g, "", 0, 0, size, rank, addr, 30, 1, "HP-D", 3, 9, "", false, 10*time.Second, 10*time.Second)
 		}(rank)
 	}
 	wg.Wait()
@@ -123,7 +123,7 @@ func TestRunMultiProcess(t *testing.T) {
 		}
 		children = append(children, cmd)
 	}
-	runErr := run(g, size, 0, addr, 30, 1, "HP-D", 3, 9, "", false, 20*time.Second, 10*time.Second)
+	runErr := run(g, "", 0, 0, size, 0, addr, 30, 1, "HP-D", 3, 9, "", false, 20*time.Second, 10*time.Second)
 	reapErr := reapChildren(children, runErr != nil)
 	if runErr != nil {
 		t.Fatalf("rank 0: %v", runErr)
@@ -133,12 +133,49 @@ func TestRunMultiProcess(t *testing.T) {
 	}
 }
 
+// TestRunGenMultiRank runs a distributed world where no rank ever loads
+// a graph file: the partitions are generated communication-free from the
+// shared spec.
+func TestRunGenMultiRank(t *testing.T) {
+	addr := freePort(t)
+	out := filepath.Join(t.TempDir(), "gen-out.txt")
+	const size = 3
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for rank := 0; rank < size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			o := ""
+			if rank == 0 {
+				o = out
+			}
+			errs[rank] = run("", "pa", 600, 4, size, rank, addr, 50, 1, "CP", 1, 9, o, false, 10*time.Second, 10*time.Second)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("rank 0 wrote no output: %v", err)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("", 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
+	if err := run("", "", 0, 0, 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
 		t.Fatal("missing graph accepted")
 	}
-	if err := run("/nonexistent/file.txt", 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
+	if err := run("/nonexistent/file.txt", "", 0, 0, 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
 		t.Fatal("missing file accepted")
+	}
+	if err := run("g.txt", "pa", 100, 4, 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
+		t.Fatal("both -graph and -gen accepted")
+	}
+	if err := run("", "bogus", 100, 4, 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
+		t.Fatal("bogus -gen model accepted")
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 
 	"edgeswitch/internal/core"
 	"edgeswitch/internal/gen"
+	"edgeswitch/internal/gen/pergen"
 	"edgeswitch/internal/graph"
 	"edgeswitch/internal/metrics"
 	"edgeswitch/internal/rng"
@@ -54,6 +55,24 @@ type (
 	Vertex = graph.Vertex
 	// Scheme selects the parallel partitioning scheme.
 	Scheme = core.Scheme
+	// GenSpec describes a graph for counter-based, communication-free
+	// parallel generation (internal/gen/pergen): the graph is a pure,
+	// p-invariant function of the spec, so parallel ranks can each build
+	// exactly their own partition with no rank-0 materialization and no
+	// scatter.
+	GenSpec = pergen.Spec
+	// GenModel names a pergen-capable generator model.
+	GenModel = pergen.Model
+	// ContactConfig parameterises the contact/community generators.
+	ContactConfig = gen.ContactConfig
+)
+
+// Counter-based generator models for GenSpec.Model.
+const (
+	// GenPA is preferential attachment by recomputation.
+	GenPA = pergen.ModelPA
+	// GenContact is the community contact network by recomputation.
+	GenContact = pergen.ModelContact
 )
 
 // Partitioning schemes for Options.Scheme.
@@ -92,6 +111,15 @@ type Options struct {
 	// InPlace lets the sequential path mutate g directly instead of a
 	// clone (saves memory on large graphs).
 	InPlace bool
+	// Gen, when non-nil, generates the input graph from a counter-based
+	// spec instead of taking one: Run must then be called with a nil
+	// graph. With Ranks > 1 the bootstrap is fully distributed — each
+	// rank generates only its own partition (core.Config.DistributedGen)
+	// and no rank ever holds the whole graph; sequential runs materialize
+	// the identical graph in-process. When Ops is zero, the operation
+	// count derives from the spec's deterministic MaxEdges bound, so all
+	// ranks agree on t without a collective.
+	Gen *GenSpec
 }
 
 // Report summarizes a Run.
@@ -118,17 +146,29 @@ func TargetOps(m int64, visitRate float64) (int64, error) {
 // input graph is never modified unless opt.InPlace is set on a
 // sequential run.
 func Run(g *Graph, opt Options) (*Report, error) {
-	t := opt.Ops
-	if t == 0 {
-		x := opt.VisitRate
-		if x == 0 {
-			x = 1
+	if opt.Gen != nil {
+		if g != nil {
+			return nil, fmt.Errorf("edgeswitch: pass either a graph or Options.Gen, not both")
 		}
-		var err error
-		t, err = core.OpsForVisitRate(g.M(), x)
+		if opt.Ranks > 1 {
+			return runDistributedGen(opt)
+		}
+		// Sequential: materialize the identical graph in one piece.
+		pg, err := pergen.New(*opt.Gen)
 		if err != nil {
 			return nil, err
 		}
+		if g, err = pg.Full(); err != nil {
+			return nil, err
+		}
+		opt.InPlace = true // the materialized graph is ours to mutate
+	}
+	if g == nil {
+		return nil, fmt.Errorf("edgeswitch: need a graph or Options.Gen")
+	}
+	t, err := targetOps(g.M(), opt)
+	if err != nil {
+		return nil, err
 	}
 	if opt.Ranks <= 1 {
 		work := g
@@ -159,6 +199,50 @@ func Run(g *Graph, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parallelReport(res), nil
+}
+
+// runDistributedGen is Run's path for Options.Gen with Ranks > 1: the
+// graph is never materialized whole — every rank generates its own
+// partition (see core.Config.DistributedGen).
+func runDistributedGen(opt Options) (*Report, error) {
+	spec := *opt.Gen
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := targetOps(spec.MaxEdges(), opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Parallel(nil, t, core.Config{
+		Ranks:          opt.Ranks,
+		Scheme:         opt.Scheme,
+		StepSize:       opt.StepSize,
+		Seed:           opt.Seed,
+		UseTCP:         opt.UseTCP,
+		AdaptiveWindow: opt.AdaptiveWindow,
+		DistributedGen: &spec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parallelReport(res), nil
+}
+
+// targetOps resolves the operation count from Options (explicit Ops, or
+// the visit-rate derivation over m edges).
+func targetOps(m int64, opt Options) (int64, error) {
+	if opt.Ops != 0 {
+		return opt.Ops, nil
+	}
+	x := opt.VisitRate
+	if x == 0 {
+		x = 1
+	}
+	return core.OpsForVisitRate(m, x)
+}
+
+func parallelReport(res *core.Result) *Report {
 	return &Report{
 		Result:    res.Graph,
 		Ops:       res.Ops,
@@ -167,7 +251,18 @@ func Run(g *Graph, opt Options) (*Report, error) {
 		VisitRate: res.VisitRate,
 		Elapsed:   res.Elapsed,
 		Parallel:  res,
-	}, nil
+	}
+}
+
+// GenerateSpec materializes the counter-based generator's graph in one
+// piece — byte-identical to what any rank count of the distributed
+// bootstrap produces for the same spec.
+func GenerateSpec(spec GenSpec) (*Graph, error) {
+	pg, err := pergen.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	return pg.Full()
 }
 
 // RunConnected performs t connectivity-preserving edge switch operations

@@ -247,7 +247,7 @@ func TestChecksOnFixtures(t *testing.T) {
 			msg: "es:hotpath root",
 		},
 		{
-			name:  "hotalloc accepts waived freelist paths and fmt.Errorf",
+			name:  "hotalloc accepts waived freelist paths, fmt.Errorf and arena sinks",
 			check: "hotalloc", variant: "good", as: "internal/core",
 			typecheck: true,
 		},

@@ -5,15 +5,17 @@ package analysis
 // one site (`// <marker> <reason>` on the finding's line or the line
 // above; the reason is mandatory prose for the reviewer), and roots,
 // which feed a check its starting set (`//es:hotpath` marks a function
-// as a hot-path root for the allocation guard). README's "Annotations"
-// table renders this registry and TestAnnotationsDocumented pins the
-// two together, so a new marker cannot ship undocumented.
+// as a hot-path root for the allocation guard), and sinks, which end a
+// check's call-graph walk (`//es:arena` marks a type whose methods are
+// the blessed allocation slow path). README's "Annotations" table
+// renders this registry and TestAnnotationsDocumented pins the two
+// together, so a new marker cannot ship undocumented.
 
 // Annotation is one registered comment marker.
 type Annotation struct {
 	Marker string // literal text looked for in comments
 	Check  string // owning check
-	Kind   string // "waiver" or "root"
+	Kind   string // "waiver", "root" or "sink"
 	Doc    string // one-line purpose, mirrored in README
 }
 
@@ -34,6 +36,8 @@ func Annotations() []Annotation {
 			Doc: "marks a function as a hot-path root; the allocation guard walks the call graph from here"},
 		{Marker: hotallocMarker, Check: "hotalloc", Kind: "waiver",
 			Doc: "accepts one allocation site on a hot path (freelist miss, amortized growth, debug-gated)"},
+		{Marker: arenaMarker, Check: "hotalloc", Kind: "sink",
+			Doc: "marks a type as an allocation arena; the guard neither audits nor descends through its methods"},
 		{Marker: sendownedMarker, Check: "sendowned", Kind: "waiver",
 			Doc: "permits touching a buffer after SendOwned (e.g. a test asserting the transfer)"},
 	}

@@ -30,7 +30,7 @@ func TestAnnotationsDocumented(t *testing.T) {
 		if !checks[a.Check] {
 			t.Errorf("annotation %q names unregistered check %q", a.Marker, a.Check)
 		}
-		if a.Kind != "waiver" && a.Kind != "root" {
+		if a.Kind != "waiver" && a.Kind != "root" && a.Kind != "sink" {
 			t.Errorf("annotation %q has unknown kind %q", a.Marker, a.Kind)
 		}
 		if seen[a.Marker] {
@@ -46,7 +46,7 @@ func TestAnnotationsDocumented(t *testing.T) {
 	// the per-check marker constants are the ground truth.
 	for _, marker := range []string{
 		lifecycleMarker, nopollMarker, tagMarker, lockCollMarker,
-		collsyncMarker, hotpathMarker, hotallocMarker, sendownedMarker,
+		collsyncMarker, hotpathMarker, hotallocMarker, arenaMarker, sendownedMarker,
 	} {
 		if !seen[marker] {
 			t.Errorf("marker constant %q missing from Annotations()", marker)

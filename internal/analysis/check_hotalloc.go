@@ -22,6 +22,16 @@ const hotpathMarker = "es:hotpath"
 // comment must name which one applies.
 const hotallocMarker = "hotalloc:"
 
+// arenaMarker marks a type declaration (in its doc comment, as
+// `//es:arena`) as an allocation arena: its methods ARE the codebase's
+// blessed allocation slow path (bump allocators, freelist backbones),
+// so the hot-path walk treats them as escape sinks — it neither audits
+// their bodies nor descends through them. Without this, every arena
+// grow path would need a per-line waiver and the waivers would drown
+// the signal; the marker moves the review to the type, where the
+// allocation policy actually lives.
+const arenaMarker = "es:arena"
+
 // checkHotAlloc guards the engine's hot path against new heap
 // allocations. The per-operation cost of the switch loop is the whole
 // performance story of this codebase: the freelists, buffer recycling,
@@ -40,17 +50,20 @@ const hotallocMarker = "hotalloc:"
 // Static-call reachability under-approximates (interface and
 // function-value calls produce no edges), which is the useful polarity:
 // everything flagged really is on the hot path, and the transport
-// boundary — an interface — naturally ends the walk. Every intended
-// allocation carries a `// hotalloc: <reason>` waiver, so the check is
-// a ratchet: a new allocation needs either a freelist or a reviewed
-// excuse.
+// boundary — an interface — naturally ends the walk. Methods of
+// `//es:arena` types end it too: an arena IS the blessed allocation
+// slow path, so the walk treats its methods as escape sinks rather than
+// demanding a waiver per grow site. Every other intended allocation
+// carries a `// hotalloc: <reason>` waiver, so the check is a ratchet:
+// a new allocation needs a freelist, an arena, or a reviewed excuse.
 var checkHotAlloc = &Check{
 	Name: "hotalloc",
 	Doc: "forbid unwaived heap allocations (append, make/new, literals, " +
 		"fmt, conversions, closures, interface boxing) in functions " +
-		"reachable from //es:hotpath roots",
+		"reachable from //es:hotpath roots; //es:arena types are sinks",
 	RunModule: func(p *ModulePass) {
 		g := flow.BuildCallGraph(callGraphSources(p.Pkgs))
+		arenas := arenaTypeSet(p.Pkgs)
 		var roots []*flow.Node
 		for _, n := range g.Nodes() {
 			if n.Decl.Doc != nil && commentGroupHas(n.Decl.Doc, hotpathMarker) {
@@ -60,7 +73,9 @@ var checkHotAlloc = &Check{
 		if len(roots) == 0 {
 			return
 		}
-		reach := g.ReachableNodes(roots)
+		reach := reachAvoiding(roots, func(n *flow.Node) bool {
+			return isArenaMethod(n, arenas)
+		})
 		annotated := make(map[string]map[int]bool) // filename -> waived lines
 		for _, n := range g.Nodes() {
 			if reach.Root[n] == nil {
@@ -77,6 +92,92 @@ var checkHotAlloc = &Check{
 			hotAllocFunc(p, pkg, n, reach, annotated[file.Path])
 		}
 	},
+}
+
+// arenaTypeSet collects every type marked `//es:arena` across the
+// module. The marker may sit on the TypeSpec itself or on the enclosing
+// GenDecl (the usual place for a single `type` declaration's doc).
+func arenaTypeSet(pkgs []*Package) map[*types.TypeName]bool {
+	set := make(map[*types.TypeName]bool)
+	for _, pkg := range pkgs {
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Ast.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					marked := ts.Doc != nil && commentGroupHas(ts.Doc, arenaMarker) ||
+						gd.Doc != nil && commentGroupHas(gd.Doc, arenaMarker)
+					if !marked {
+						continue
+					}
+					if tn, ok := pkg.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						set[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// isArenaMethod reports whether the node is a method whose receiver's
+// base type carries the //es:arena marker.
+func isArenaMethod(n *flow.Node, arenas map[*types.TypeName]bool) bool {
+	if len(arenas) == 0 {
+		return false
+	}
+	sig, ok := n.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return arenas[named.Obj()]
+}
+
+// reachAvoiding is ReachableNodes with sink pruning: the walk neither
+// enters nor crosses a node the sink predicate accepts, so everything
+// below an arena method stays cold unless reached some other way. An
+// explicit hot-path root marker wins over its own sink-ness — marking a
+// method with both is a deliberate request to audit it anyway.
+func reachAvoiding(roots []*flow.Node, sink func(*flow.Node) bool) flow.Reach {
+	r := flow.Reach{Root: make(map[*flow.Node]*flow.Node), Parent: make(map[*flow.Node]*flow.Node)}
+	queue := make([]*flow.Node, 0, len(roots))
+	for _, root := range roots {
+		if root == nil || r.Root[root] != nil {
+			continue
+		}
+		r.Root[root] = root
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Callees {
+			if r.Root[c] != nil || sink(c) {
+				continue
+			}
+			r.Root[c] = r.Root[n]
+			r.Parent[c] = n
+			queue = append(queue, c)
+		}
+	}
+	return r
 }
 
 // commentGroupHas reports whether any comment in the group contains the

@@ -33,3 +33,27 @@ func (p *pool) fail(n int) error {
 func coldSetup() []int {
 	return make([]int, 1024)
 }
+
+// arena is a bump allocator: its methods ARE the blessed allocation
+// slow path, so the guard treats them as escape sinks.
+//
+//es:arena
+type arena struct{ blocks [][]byte }
+
+// alloc allocates freely — inside an arena sink nothing needs a waiver.
+func (a *arena) alloc(n int) []byte {
+	b := make([]byte, n)
+	a.blocks = append(a.blocks, b)
+	return grow(b, n)
+}
+
+// grow sits below the sink: the walk must not descend into it through
+// the arena method, even though it allocates.
+func grow(b []byte, n int) []byte {
+	return append(b, make([]byte, n)...)
+}
+
+//es:hotpath useArena allocates only through the arena sink.
+func (p *pool) useArena(a *arena, n int) []byte {
+	return a.alloc(n)
+}

@@ -251,12 +251,30 @@ type partnerOp struct {
 // CheckInvariants set, every step boundary of the run re-verifies the
 // engine invariants (see sanitize.go and stepsync.go).
 func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges []flaggedEdge, cfg Config) (*rankEngine, error) {
+	e := newEmptyRankEngine(c, pt, n, cfg)
+	for _, fe := range edges {
+		li, ok := e.index[fe.e.U]
+		if !ok {
+			return nil, fmt.Errorf("core: rank %d handed foreign edge %v", c.Rank(), fe.e)
+		}
+		if !e.adj[li].InsertArena(&e.arena, fe.e.V, fe.orig, e.rnd.Uint32()) {
+			return nil, fmt.Errorf("core: rank %d handed duplicate edge %v", c.Rank(), fe.e)
+		}
+		e.deg.Add(int(li), 1)
+	}
+	e.finishLoad(m, cfg)
+	return e, nil
+}
+
+// newEmptyRankEngine prepares a rank's state with an empty partition;
+// callers insert this rank's edges (a handed []flaggedEdge, or the
+// distributed-generation scan) and then finishLoad.
+func newEmptyRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, cfg Config) *rankEngine {
 	e := &rankEngine{
 		c:          c,
 		pt:         pt,
 		rnd:        rng.Split(cfg.Seed, c.Rank()+2),
 		n:          n,
-		m:          m,
 		verts:      partition.LocalVertices(pt, n, c.Rank()),
 		inHand:     make(map[graph.Edge]bool),
 		potential:  make(map[graph.Edge]opID),
@@ -275,16 +293,14 @@ func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges 
 	}
 	e.adj = make([]graph.AdjSet, len(e.verts))
 	e.deg = graph.NewFenwick(len(e.verts))
-	for _, fe := range edges {
-		li, ok := e.index[fe.e.U]
-		if !ok {
-			return nil, fmt.Errorf("core: rank %d handed foreign edge %v", c.Rank(), fe.e)
-		}
-		if !e.adj[li].InsertArena(&e.arena, fe.e.V, fe.orig, e.rnd.Uint32()) {
-			return nil, fmt.Errorf("core: rank %d handed duplicate edge %v", c.Rank(), fe.e)
-		}
-		e.deg.Add(int(li), 1)
-	}
+	return e
+}
+
+// finishLoad records the global edge count m and the partition size, and
+// arms the adaptive window controller — the steps that need the local
+// edges to be in place.
+func (e *rankEngine) finishLoad(m int64, cfg Config) {
+	e.m = m
 	e.initialEdges = e.deg.Total()
 	if cfg.AdaptiveWindow {
 		// Start at the fixed window the controller replaces, so an
@@ -297,13 +313,12 @@ func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges 
 			start = opWindow
 		}
 		e.winCtl = window.New(window.Config{
-			Ranks:   c.Size(),
+			Ranks:   e.c.Size(),
 			Floor:   cfg.WindowFloor,
 			Ceiling: cfg.WindowCeiling,
 			Start:   start,
 		})
 	}
-	return e, nil
 }
 
 // run executes t operations in steps of stepSize (§4.5's step protocol).

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"edgeswitch/internal/clock"
+	"edgeswitch/internal/gen/pergen"
 	"edgeswitch/internal/graph"
 	"edgeswitch/internal/mpi"
 	"edgeswitch/internal/partition"
@@ -60,6 +61,16 @@ type Config struct {
 	// own transport payload. For benchmarks and tests quantifying the
 	// batching win; leave off otherwise.
 	DisableBatching bool
+	// DistributedGen, when non-nil, switches the bootstrap to
+	// communication-free parallel generation (internal/gen/pergen): no
+	// rank materializes the whole graph and nothing is scattered —
+	// every rank resolves the spec's counter streams itself and builds
+	// exactly its own partition. RunRank must then be called with a nil
+	// graph; the resulting edge set is byte-identical to
+	// pergen.New(spec).Full() at every rank count. Only a single 8-byte
+	// allreduce (the exact global edge count) touches the network
+	// before switching starts.
+	DistributedGen *pergen.Spec
 	// AdaptiveWindow replaces the fixed operation-pipelining window
 	// (64 ∧ |E_local|/8) with the per-rank AIMD controller of
 	// internal/tune/window: each step's observed restarts, reservation
@@ -200,6 +211,15 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 	if t < 0 {
 		return nil, fmt.Errorf("core: negative operation count %d", t)
 	}
+	if cfg.DistributedGen != nil {
+		if g != nil {
+			return nil, fmt.Errorf("core: RunRank with Config.DistributedGen takes a nil graph (ranks generate their own partitions)")
+		}
+		return runRankGen(c, t, cfg)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("core: RunRank needs a graph (or Config.DistributedGen)")
+	}
 	if g.M() < 2 && t > 0 {
 		return nil, fmt.Errorf("core: need at least 2 edges to switch, have %d", g.M())
 	}
@@ -225,14 +245,25 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 		})
 	}
 
-	stepSize := cfg.StepSize
-	if stepSize <= 0 || stepSize > t {
-		stepSize = t
-	}
-
 	eng, err := newRankEngine(c, pt, g.N(), g.M(), local, cfg)
 	if err != nil {
 		return nil, err
+	}
+	return runEngine(eng, t, cfg, func(*graph.Graph) *Baseline { return NewBaseline(g) })
+}
+
+// runEngine drives a loaded rank engine through the switching run and
+// the result gathering shared by both bootstrap paths (graph hand-off
+// and distributed generation). baseline supplies the invariant
+// fingerprint SanitizeGraph checks the reassembled result against; it
+// receives the reassembled graph for paths that have nothing earlier to
+// fingerprint.
+func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Graph) *Baseline) (*Result, error) {
+	c, pt := eng.c, eng.pt
+	p := c.Size()
+	stepSize := cfg.StepSize
+	if stepSize <= 0 || stepSize > t {
+		stepSize = t
 	}
 	start := clock.Now()
 	if err := eng.run(t, stepSize); err != nil {
@@ -308,20 +339,20 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 	if c.Rank() != 0 {
 		return nil, nil
 	}
-	out, err := reassemble(g.N(), parts, cfg.Seed)
+	out, err := reassemble(eng.n, parts, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	if out.M() != g.M() {
-		return nil, fmt.Errorf("core: edge count changed: %d -> %d", g.M(), out.M())
+	if out.M() != eng.m {
+		return nil, fmt.Errorf("core: edge count changed: %d -> %d", eng.m, out.M())
 	}
 	if cfg.CheckInvariants {
-		if vs := SanitizeGraph(out, NewBaseline(g)); len(vs) > 0 {
+		if vs := SanitizeGraph(out, baseline(out)); len(vs) > 0 {
 			return nil, fmt.Errorf("core: reassembled graph fails invariant sanitizer: %s", summarize(vs))
 		}
 	}
 	res.Graph = out
-	res.VisitRate = VisitRate(out.Originals(), g.M())
+	res.VisitRate = VisitRate(out.Originals(), eng.m)
 	return res, nil
 }
 

@@ -1,0 +1,164 @@
+package pergen
+
+import (
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// Contact/community generation by recomputation. The sequential
+// generator (gen.Contact) is globally stateful twice over: it draws
+// random community sizes while sweeping the label space, and it places
+// edges by rejection against the graph built so far. The port removes
+// both dependencies:
+//
+//   - Communities are a pure function of the seed: size i is an
+//     independent counter draw, so every rank derives the identical
+//     community table (and the commOf lookup) in O(n).
+//   - Within-community edges become independent Bernoulli trials, one
+//     per community-internal vertex pair, with acceptance probability
+//     q = withinBudget/withinCapacity. Same expected budget share as
+//     the sequential fill loop, but each pair is decided by one hash —
+//     no duplicates by construction.
+//   - The cross-community remainder is a fixed array of slots sized to
+//     hit the exact target count given the (deterministic) within
+//     count; each slot resolves its endpoint pair directly from the
+//     counter stream, redrawing (bounded) while the pair is a loop or
+//     falls inside one community. Distinct slots can — birthday-rarely —
+//     resolve to the same pair; both copies share their minimum
+//     endpoint, so the owning rank collapses them locally and the edge
+//     set stays p-invariant. Within- and cross-edges can never collide
+//     (one is intra-, the other inter-community).
+type contactGen struct {
+	n        int
+	cfg      contactParams
+	withinQ  float64
+	crossCnt int64
+
+	comms  []communitySpan
+	commOf []int32
+
+	sizes  rng.Stream
+	within rng.Stream
+	cross  rng.Stream
+}
+
+type communitySpan struct{ lo, hi int32 } // [lo, hi)
+
+type contactParams struct {
+	avgDegree     float64
+	communitySize int
+	withinFrac    float64
+}
+
+func newContactGen(sp Spec) *contactGen {
+	cc := sp.contactConfig()
+	c := &contactGen{
+		n: cc.N,
+		cfg: contactParams{
+			avgDegree:     cc.AvgDegree,
+			communitySize: cc.CommunitySize,
+			withinFrac:    cc.WithinFrac,
+		},
+		sizes:  rng.NewStream(sp.Seed, streamComm),
+		within: rng.NewStream(sp.Seed, streamWithin),
+		cross:  rng.NewStream(sp.Seed, streamCross),
+	}
+	// Carve communities of consecutive labels, sizes uniform in
+	// [CommunitySize/2, 3·CommunitySize/2] as in the sequential
+	// generator — but each size is an independent counter draw, so the
+	// table is identical on every rank.
+	c.commOf = make([]int32, c.n)
+	base := cc.CommunitySize
+	for lo, i := 0, uint64(0); lo < c.n; i++ {
+		sz := base/2 + int(c.sizes.Uint64nAt(i, uint64(base+1)))
+		if sz < 2 {
+			sz = 2
+		}
+		hi := lo + sz
+		if hi > c.n {
+			hi = c.n
+		}
+		ci := int32(len(c.comms))
+		c.comms = append(c.comms, communitySpan{int32(lo), int32(hi)})
+		for v := lo; v < hi; v++ {
+			c.commOf[v] = ci
+		}
+		lo = hi
+	}
+	// Budget split, mirroring gen.Contact: a WithinFrac share of the
+	// target edge count is expected to land inside communities, the
+	// remainder crosses them. withinCount below is the exact realized
+	// Bernoulli count — every rank computes it from the same scan, so
+	// the cross slot count (and with it the total) is deterministic.
+	targetM := int64(cc.AvgDegree * float64(cc.N) / 2)
+	var withinCapacity int64
+	for _, cm := range c.comms {
+		sz := int64(cm.hi - cm.lo)
+		withinCapacity += sz * (sz - 1) / 2
+	}
+	withinBudget := int64(float64(targetM) * cc.WithinFrac)
+	if withinCapacity > 0 {
+		c.withinQ = float64(withinBudget) / float64(withinCapacity)
+		if c.withinQ > 1 {
+			c.withinQ = 1
+		}
+	}
+	withinCount := int64(0)
+	c.withinEdges(func(graph.Edge) { withinCount++ })
+	c.crossCnt = targetM - withinCount
+	if c.crossCnt < 0 {
+		c.crossCnt = 0
+	}
+	return c
+}
+
+// withinEdges enumerates the accepted within-community pairs: pair w of
+// the global intra-community pair enumeration is an edge iff its
+// Bernoulli draw clears withinQ.
+//
+//es:hotpath withinEdges is one Bernoulli hash per community-internal pair.
+func (c *contactGen) withinEdges(fn func(graph.Edge)) {
+	w := uint64(0)
+	for _, cm := range c.comms {
+		for i := cm.lo; i < cm.hi; i++ {
+			for j := i + 1; j < cm.hi; j++ {
+				if c.within.Float64At(w) < c.withinQ {
+					fn(graph.Edge{U: graph.Vertex(i), V: graph.Vertex(j)})
+				}
+				w++
+			}
+		}
+	}
+}
+
+// crossEdges enumerates the cross-community slots. A slot redraws its
+// endpoints (bounded, from its own counter range) while the pair is a
+// loop or intra-community; with a single community the intra filter is
+// dropped, as in the sequential generator. Exhausted slots are dropped.
+//
+//es:hotpath crossEdges resolves one endpoint pair per cross slot.
+func (c *contactGen) crossEdges(fn func(graph.Edge)) {
+	requireCross := len(c.comms) > 1
+	for t := int64(0); t < c.crossCnt; t++ {
+		for a := uint64(0); a <= maxResolveAttempts; a++ {
+			ctr := uint64(t)<<6 | a
+			u := graph.Vertex(c.cross.Uint64nAt(2*ctr, uint64(c.n)))
+			v := graph.Vertex(c.cross.Uint64nAt(2*ctr+1, uint64(c.n)))
+			if u == v || (requireCross && c.commOf[u] == c.commOf[v]) {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			fn(graph.Edge{U: u, V: v})
+			break
+		}
+	}
+}
+
+// edges enumerates within-community edges first, then cross slots —
+// the deterministic order Edges documents.
+func (c *contactGen) edges(fn func(graph.Edge)) {
+	c.withinEdges(fn)
+	c.crossEdges(fn)
+}

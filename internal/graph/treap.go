@@ -33,16 +33,40 @@ type treapNode struct {
 // AdjSets, so deletes in one vertex's set feed inserts in another's.
 // The zero value is ready to use, and a nil *NodeArena degrades to
 // plain allocation, which is what the arena-less AdjSet methods pass.
+//
+//es:arena
 type NodeArena struct {
 	free *treapNode
+	slab []treapNode
+	// spine is BuildSorted's scratch stack (the rightmost spine of the
+	// tree under construction), kept here so bulk loads reuse one
+	// allocation across every AdjSet built from the same arena.
+	spine []*treapNode
 }
 
+// arenaSlab is the nodes-per-allocation granularity of a free-list miss.
+// Bulk loads (the distributed-generation bootstrap inserts every owned
+// edge into an initially empty arena) would otherwise pay one heap
+// allocation and one GC object per edge; a slab turns that into one
+// allocation per 1024 nodes with better locality.
+const arenaSlab = 1024
+
 func (a *NodeArena) get(v Vertex, original bool, prio uint32) *treapNode {
-	if a == nil || a.free == nil {
-		return &treapNode{key: v, prio: prio, size: 1, original: original} // hotalloc: arena miss; the arena exists to make this the rare path
+	if a == nil {
+		return &treapNode{key: v, prio: prio, size: 1, original: original}
 	}
-	n := a.free
-	a.free = n.left
+	if n := a.free; n != nil {
+		a.free = n.left
+		*n = treapNode{key: v, prio: prio, size: 1, original: original}
+		return n
+	}
+	if len(a.slab) == 0 {
+		// The free-list miss is the slow path the arena exists to avoid;
+		// the //es:arena marker on the type waives it.
+		a.slab = make([]treapNode, arenaSlab)
+	}
+	n := &a.slab[0]
+	a.slab = a.slab[1:]
 	*n = treapNode{key: v, prio: prio, size: 1, original: original}
 	return n
 }
@@ -133,18 +157,125 @@ func (s *AdjSet) Insert(v Vertex, original bool, prio uint32) bool {
 }
 
 // InsertArena is Insert drawing the node from a (the hot path of the
-// parallel engine); a nil arena allocates.
+// parallel engine); a nil arena allocates. The insert is a single
+// descent: the classic rotation treap insert walks down comparing keys
+// (discovering a duplicate en route, where the split/merge formulation
+// needs a separate Contains pre-pass), attaches the node at the leaf and
+// rotates it up to its priority. Halving the traversals matters both in
+// the engine's per-switch path and in the bulk partition loads of the
+// distributed-generation bootstrap.
 func (s *AdjSet) InsertArena(a *NodeArena, v Vertex, original bool, prio uint32) bool {
-	if s.Contains(v) {
+	nn := a.get(v, original, prio)
+	root, inserted := insertPrio(s.root, nn)
+	if !inserted {
+		a.put(nn)
 		return false
 	}
-	nn := a.get(v, original, prio)
-	l, rsub := split(s.root, v)
-	s.root = merge(merge(l, nn), rsub)
+	s.root = root
 	if original {
 		s.origs++
 	}
 	return true
+}
+
+// insertPrio inserts nn into n by key, restoring the priority heap with
+// rotations on the way back up. Subtree sizes are recomputed only along
+// the (successful) insertion path.
+func insertPrio(n, nn *treapNode) (root *treapNode, inserted bool) {
+	if n == nil {
+		return nn, true
+	}
+	switch {
+	case nn.key < n.key:
+		if n.left, inserted = insertPrio(n.left, nn); !inserted {
+			return n, false
+		}
+		if n.left.prio > n.prio {
+			return rotateRight(n), true
+		}
+	case nn.key > n.key:
+		if n.right, inserted = insertPrio(n.right, nn); !inserted {
+			return n, false
+		}
+		if n.right.prio > n.prio {
+			return rotateLeft(n), true
+		}
+	default:
+		return n, false
+	}
+	n.update()
+	return n, true
+}
+
+// rotateRight lifts n's left child over n, preserving key order.
+func rotateRight(n *treapNode) *treapNode {
+	l := n.left
+	n.left = l.right
+	n.update()
+	l.right = n
+	l.update()
+	return l
+}
+
+// rotateLeft lifts n's right child over n, preserving key order.
+func rotateLeft(n *treapNode) *treapNode {
+	r := n.right
+	n.right = r.left
+	n.update()
+	r.left = n
+	r.update()
+	return r
+}
+
+// BuildSorted fills an empty set in one pass from strictly ascending
+// keys and their treap priorities, drawing nodes from a (nil allocates).
+// A treap is uniquely determined by its (key, priority) pairs — ties
+// resolve the same way insertPrio's strict rotation test does — so the
+// result is identical to inserting the pairs one at a time, but costs
+// O(len) instead of O(len·log len): each node is threaded onto the
+// rightmost spine of the growing tree (the classic Cartesian-tree
+// construction), and subtree sizes are finalized exactly once, when a
+// node leaves the spine. Every entry gets the original flag.
+func (s *AdjSet) BuildSorted(a *NodeArena, keys []Vertex, prios []uint32, original bool) {
+	if len(keys) == 0 {
+		return
+	}
+	if s.root != nil {
+		panic("graph: BuildSorted on a non-empty AdjSet")
+	}
+	var spine []*treapNode
+	if a != nil {
+		spine = a.spine[:0]
+	}
+	for i, k := range keys {
+		if i > 0 && keys[i-1] >= k {
+			panic("graph: BuildSorted keys not strictly ascending")
+		}
+		nn := a.get(k, original, prios[i])
+		// Nodes the new maximum displaces from the spine become its left
+		// subtree; their sizes are final the moment they come off.
+		var last *treapNode
+		for len(spine) > 0 && spine[len(spine)-1].prio < nn.prio {
+			last = spine[len(spine)-1]
+			spine = spine[:len(spine)-1]
+			last.update()
+		}
+		nn.left = last
+		if len(spine) > 0 {
+			spine[len(spine)-1].right = nn
+		}
+		spine = append(spine, nn)
+	}
+	s.root = spine[0]
+	for i := len(spine) - 1; i >= 0; i-- {
+		spine[i].update()
+	}
+	if a != nil {
+		a.spine = spine[:0]
+	}
+	if original {
+		s.origs += int32(len(keys))
+	}
 }
 
 // Delete removes v, reporting whether it was present and whether the
@@ -181,22 +312,6 @@ func (s *AdjSet) DeleteArena(a *NodeArena, v Vertex) (found, original bool) {
 		s.origs--
 	}
 	return found, original
-}
-
-// split partitions n into keys < v and keys > v. The caller guarantees v
-// is not present.
-func split(n *treapNode, v Vertex) (l, r *treapNode) {
-	if n == nil {
-		return nil, nil
-	}
-	if n.key < v {
-		n.right, r = split(n.right, v)
-		n.update()
-		return n, r
-	}
-	l, n.left = split(n.left, v)
-	n.update()
-	return l, n
 }
 
 // merge joins two treaps where every key in l precedes every key in r.

@@ -208,3 +208,77 @@ func BenchmarkAdjSetKth(b *testing.B) {
 		s.Kth(r.Intn(1000))
 	}
 }
+
+// identicalTreap reports whether two treaps have the same structure,
+// keys, priorities, and sizes — stronger than behavioral equality, it
+// pins BuildSorted's claim of being bit-identical to one-at-a-time
+// insertion.
+func identicalTreap(a, b *treapNode) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.key == b.key && a.prio == b.prio && a.size == b.size &&
+		a.original == b.original &&
+		identicalTreap(a.left, b.left) && identicalTreap(a.right, b.right)
+}
+
+func TestBuildSortedMatchesIncrementalInsert(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(40) + 1
+		keys := make([]Vertex, 0, n)
+		prios := make([]uint32, 0, n)
+		seen := map[Vertex]bool{}
+		for len(keys) < n {
+			v := Vertex(r.Intn(200))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			keys = append(keys, v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for range keys {
+			// Narrow priority range so ties actually occur in the trial set.
+			prios = append(prios, uint32(r.Intn(16)))
+		}
+
+		var inc, bulk AdjSet
+		var arena NodeArena
+		for i, k := range keys {
+			inc.Insert(k, true, prios[i])
+		}
+		bulk.BuildSorted(&arena, keys, prios, true)
+
+		if !identicalTreap(inc.root, bulk.root) {
+			t.Fatalf("trial %d: BuildSorted tree differs from incremental insert (n=%d)", trial, n)
+		}
+		if bulk.Len() != len(keys) || bulk.Originals() != len(keys) {
+			t.Fatalf("trial %d: Len=%d Originals=%d, want %d", trial, bulk.Len(), bulk.Originals(), len(keys))
+		}
+	}
+}
+
+func TestBuildSortedPanicsOnUnsortedOrNonEmpty(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("unsorted keys", func() {
+		var s AdjSet
+		s.BuildSorted(nil, []Vertex{3, 2}, []uint32{1, 2}, true)
+	})
+	expectPanic("duplicate keys", func() {
+		var s AdjSet
+		s.BuildSorted(nil, []Vertex{2, 2}, []uint32{1, 2}, true)
+	})
+	expectPanic("non-empty set", func() {
+		var s AdjSet
+		s.Insert(1, true, 9)
+		s.BuildSorted(nil, []Vertex{2}, []uint32{1}, true)
+	})
+}

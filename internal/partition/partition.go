@@ -51,12 +51,29 @@ type CP struct {
 // where the skew that develops over time is precisely the CP phenomenon
 // studied in §5.2).
 func NewCP(g *graph.Graph, p int) (*CP, error) {
+	return newCP(p, g.N(), g.M(), func(v int) int64 {
+		return int64(g.ReducedDegree(graph.Vertex(v)))
+	})
+}
+
+// NewCPFromReduced builds a consecutive partitioning from a reduced-degree
+// table alone — the graph-less bootstrap path. Distributed generation
+// (internal/gen/pergen) derives the table deterministically from the
+// generator spec, so every rank computes identical boundaries without any
+// rank ever materializing, or exchanging, the full graph.
+func NewCPFromReduced(deg []int32, p int) (*CP, error) {
+	var m int64
+	for _, d := range deg {
+		m += int64(d)
+	}
+	return newCP(p, len(deg), m, func(v int) int64 { return int64(deg[v]) })
+}
+
+func newCP(p, n int, m int64, rdeg func(v int) int64) (*CP, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("partition: p must be positive, got %d", p)
 	}
-	n := g.N()
 	bounds := make([]graph.Vertex, p+1)
-	m := g.M()
 	// Greedy sweep: part k closes once it holds its fair share of the
 	// edges not yet assigned, ceil((m − assigned)/(p − k)). Recomputing
 	// the share from the remainder keeps later parts non-empty even when
@@ -69,7 +86,7 @@ func NewCP(g *graph.Graph, p int) (*CP, error) {
 		target := (m - assigned + remParts - 1) / remParts
 		var cnt int64
 		for v < n && (cnt < target || k == p-1) {
-			cnt += int64(g.ReducedDegree(graph.Vertex(v)))
+			cnt += rdeg(v)
 			v++
 		}
 		assigned += cnt

@@ -1,0 +1,162 @@
+package rng
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// TestStreamGolden pins the exact output of Stream.At. The counter RNG
+// is a wire-format-grade contract: pergen graphs are deterministic
+// functions of these values, so a change here silently regenerates
+// every benchmark input. Update only deliberately, together with every
+// golden graph test.
+func TestStreamGolden(t *testing.T) {
+	cases := []struct {
+		seed, id uint64
+		want     [5]uint64
+	}{
+		{seed: 0x0, id: 0, want: [5]uint64{0x8c042b7a30549494, 0x71963f2c28136e74, 0x970961d9c414e734, 0xd11d0dd3c257a810, 0x1191ea72e335f167}},
+		{seed: 0x1, id: 0, want: [5]uint64{0xadb499d240e43a24, 0x36f56fe859b4a431, 0x303f0f46ccfc202f, 0xf5403d8f9338a0c6, 0xcf41085b6e4bcbbf}},
+		{seed: 0x1, id: 1, want: [5]uint64{0x23c494f078cc069, 0x459e3cfde1a793e7, 0x67cda74ebccc6e88, 0x2f18d10a4f2c682, 0xec77316f01506726}},
+		{seed: 0x2a, id: 7, want: [5]uint64{0xe5716aaf4c3b6877, 0x71f2d4cbbfe0e226, 0xfdb264cd4e62d921, 0x63c58bbc1241ce8f, 0x4cf93944502f8f04}},
+		{seed: 0xdeadbeef, id: 3, want: [5]uint64{0xeb144eef22182c66, 0xdfd85e7b8d568303, 0xfa1c98501bd6aea0, 0xff5bce434ed6fd46, 0xad171eada8f9bdb0}},
+	}
+	for _, c := range cases {
+		s := NewStream(c.seed, c.id)
+		for i, want := range c.want {
+			if got := s.At(uint64(i)); got != want {
+				t.Errorf("NewStream(%#x, %d).At(%d) = %#x, want %#x", c.seed, c.id, i, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamStateless(t *testing.T) {
+	s := NewStream(99, 4)
+	// Random access in any order must agree with itself.
+	forward := make([]uint64, 64)
+	for i := range forward {
+		forward[i] = s.At(uint64(i))
+	}
+	for i := 63; i >= 0; i-- {
+		if s.At(uint64(i)) != forward[i] {
+			t.Fatalf("At(%d) changed between calls — Stream is not stateless", i)
+		}
+	}
+	// A copy is the same stream.
+	cp := s
+	if cp.At(17) != forward[17] {
+		t.Fatal("copied Stream diverged")
+	}
+}
+
+func TestStreamIdsAndSeedsDecorrelate(t *testing.T) {
+	base := NewStream(7, 0)
+	for _, other := range []Stream{NewStream(7, 1), NewStream(8, 0), NewStream(6, 0)} {
+		same := 0
+		for i := uint64(0); i < 1000; i++ {
+			if base.At(i) == other.At(i) {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Fatalf("streams shared %d of 1000 draws", same)
+		}
+	}
+}
+
+// TestStreamUniformity is the same chi-square battery RNG.Int64n gets,
+// over the counter dimension.
+func TestStreamUniformity(t *testing.T) {
+	s := NewStream(123, 9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := uint64(0); i < draws; i++ {
+		counts[s.Uint64nAt(i, n)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9% critical value ~27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square %f too large; counts=%v", chi2, counts)
+	}
+}
+
+func TestStreamBitBalance(t *testing.T) {
+	s := NewStream(55, 2)
+	const draws = 100000
+	ones := 0
+	for i := uint64(0); i < draws; i++ {
+		ones += bits.OnesCount64(s.At(i))
+	}
+	mean := float64(ones) / draws
+	if math.Abs(mean-32) > 0.1 {
+		t.Fatalf("mean population count %f far from 32", mean)
+	}
+}
+
+// TestStreamAvalanche checks that flipping one bit of the counter flips
+// about half the output bits — the property that makes sequential
+// counters (the common access pattern) behave as independent draws.
+func TestStreamAvalanche(t *testing.T) {
+	s := NewStream(3141, 5)
+	const trials = 2000
+	total := 0
+	for i := uint64(0); i < trials; i++ {
+		base := s.At(i)
+		for b := 0; b < 64; b += 7 {
+			total += bits.OnesCount64(base ^ s.At(i^(1<<b)))
+		}
+	}
+	flips := float64(total) / (trials * 10) // 10 bit positions per trial
+	if flips < 30 || flips > 34 {
+		t.Fatalf("avalanche %f output bits per counter-bit flip, want ~32", flips)
+	}
+}
+
+func TestStreamFloat64AtRange(t *testing.T) {
+	s := NewStream(77, 0)
+	sum := 0.0
+	const draws = 200000
+	for i := uint64(0); i < draws; i++ {
+		f := s.Float64At(i)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64At out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64At mean %f far from 0.5", mean)
+	}
+}
+
+func TestStreamUint64nAtBounds(t *testing.T) {
+	s := NewStream(11, 1)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := uint64(0); i < 200; i++ {
+			if v := s.Uint64nAt(i, n); v >= n {
+				t.Fatalf("Uint64nAt(%d, %d) = %d out of range", i, n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n == 0")
+		}
+	}()
+	s.Uint64nAt(0, 0)
+}
+
+func BenchmarkStreamAt(b *testing.B) {
+	s := NewStream(1, 0)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.At(uint64(i))
+	}
+	_ = sink
+}
