@@ -46,20 +46,27 @@ bench:
 # replay of the generation-bootstrap guard config (pa n=100k p=8),
 # failing if the deterministic edge count drifts or the pergen speedup
 # over the file bootstrap collapses below half the committed
-# BENCH_pergen.json value. CI runs this so benchmark, controller, and
-# generator rot is caught early.
+# BENCH_pergen.json value, and one replay per algorithm of the
+# randomizer-seam guard (pa/mem/p2 to x=0.9), failing if either
+# algorithm misses the target visit rate, the deterministic curveball
+# trajectory drifts from BENCH_curveball.json, or transport sends
+# regress >2x. CI runs this so benchmark, controller, and generator rot
+# is caught early.
 benchsmoke:
 	$(GO) test -short -run=^$$ -bench=BenchmarkEngineStep -benchtime=1x ./internal/core/
 	$(GO) test -short -run=^$$ -bench=BenchmarkGenerate -benchtime=1x ./internal/core/
+	$(GO) test -short -run=^$$ -bench='BenchmarkRandomizer/.*/pa/mem/p2$$' -benchtime=1x ./internal/core/
 	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokeAdaptiveRegression$$' -v ./internal/core/
 	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokePergenRegression$$' -v ./internal/core/
+	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokeCurveballRegression$$' -v ./internal/core/
 
-# Large-graph generation smoke: a >=10^7-edge preferential-attachment
-# graph through the communication-free bootstrap at p=8, pinned to the
-# exact deterministic edge count in BENCH_pergen.json and time-boxed by
-# the -timeout.
+# Large-graph smokes: a >=10^7-edge preferential-attachment graph
+# through the communication-free bootstrap at p=8, pinned to the exact
+# deterministic edge count in BENCH_pergen.json, plus a ~10^6-edge
+# curveball run to the target visit rate at p=8; both time-boxed by the
+# -timeout.
 largesmoke:
-	ESLARGE=1 $(GO) test -run='^TestLargeGenSmoke$$' -v -timeout 10m ./internal/core/
+	ESLARGE=1 $(GO) test -run='^TestLargeGenSmoke$$|^TestLargeCurveballSmoke$$' -v -timeout 10m ./internal/core/
 
 clean:
 	$(GO) clean ./...

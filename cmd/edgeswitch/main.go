@@ -34,6 +34,7 @@ func main() {
 		x       = flag.Float64("x", 1, "target visit rate in (0,1] used when -t is 0")
 		ranks   = flag.Int("p", 1, "number of parallel ranks (1: sequential algorithm)")
 		scheme  = flag.String("scheme", "CP", "partitioning scheme: CP, HP-D, HP-M, HP-U")
+		algo    = flag.String("algo", "edge-switch", "randomization algorithm: edge-switch, curveball (curveball: -t counts global trade rounds and -steps is ignored)")
 		steps   = flag.Int64("steps", 1, "number of steps (parallel; step size = t/steps)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		useTCP  = flag.Bool("tcp", false, "route parallel messages over loopback TCP")
@@ -44,7 +45,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*inPath, *dataset, *scale, *genMod, *genN, *genD, *outPath, *tOps, *x, *ranks, *scheme, *steps, *seed, *useTCP, *adapt, *quiet, *mode, *left); err != nil {
+	if err := run(*inPath, *dataset, *scale, *genMod, *genN, *genD, *outPath, *tOps, *x, *ranks, *scheme, *algo, *steps, *seed, *useTCP, *adapt, *quiet, *mode, *left); err != nil {
 		fmt.Fprintln(os.Stderr, "edgeswitch:", err)
 		os.Exit(1)
 	}
@@ -64,7 +65,11 @@ func genSpec(model string, n, d int, seed uint64) (*edgeswitch.GenSpec, error) {
 }
 
 func run(inPath, dataset string, scale float64, genMod string, genN, genD int, outPath string, tOps int64, x float64,
-	ranks int, scheme string, steps int64, seed uint64, useTCP, adaptive, quiet bool, mode string, left int) error {
+	ranks int, scheme, algo string, steps int64, seed uint64, useTCP, adaptive, quiet bool, mode string, left int) error {
+
+	if algo != "" && algo != string(edgeswitch.EdgeSwitch) && mode != "" && mode != "plain" {
+		return fmt.Errorf("mode %q supports only the edge-switch algorithm", mode)
+	}
 
 	var g *edgeswitch.Graph
 	var spec *edgeswitch.GenSpec
@@ -110,7 +115,7 @@ func run(inPath, dataset string, scale float64, genMod string, genN, genD int, o
 	}
 	t := tOps
 	if t == 0 {
-		t, err = edgeswitch.TargetOps(mEdges, x)
+		t, err = edgeswitch.TargetOpsFor(edgeswitch.Algorithm(algo), mEdges, x)
 		if err != nil {
 			return err
 		}
@@ -119,18 +124,26 @@ func run(inPath, dataset string, scale float64, genMod string, genN, genD int, o
 	if steps > 1 {
 		stepSize = (t + steps - 1) / steps
 	}
+	unit := "ops"
+	if edgeswitch.Algorithm(algo) == edgeswitch.Curveball {
+		unit = "rounds"
+	}
 	if g != nil {
-		fmt.Printf("graph: n=%d m=%d | t=%d ops | p=%d scheme=%s mode=%s\n", g.N(), g.M(), t, ranks, scheme, mode)
+		fmt.Printf("graph: n=%d m=%d | t=%d %s | p=%d scheme=%s mode=%s\n", g.N(), g.M(), t, unit, ranks, scheme, mode)
 	} else {
-		fmt.Printf("graph: gen=%s n=%d m<=%d (distributed, no rank materializes it) | t=%d ops | p=%d scheme=%s\n",
-			genMod, genN, mEdges, t, ranks, scheme)
+		fmt.Printf("graph: gen=%s n=%d m<=%d (distributed, no rank materializes it) | t=%d %s | p=%d scheme=%s\n",
+			genMod, genN, mEdges, t, unit, ranks, scheme)
 	}
 
 	var rep *edgeswitch.Report
 	switch mode {
 	case "plain", "":
+		// Pass the raw -t through so a curveball run derived from -x keeps
+		// its early-stop target (the facade re-derives t per algorithm).
 		rep, err = edgeswitch.Run(g, edgeswitch.Options{
-			Ops:            t,
+			Ops:            tOps,
+			VisitRate:      x,
+			Algorithm:      edgeswitch.Algorithm(algo),
 			Ranks:          ranks,
 			Scheme:         edgeswitch.Scheme(scheme),
 			StepSize:       stepSize,

@@ -51,6 +51,7 @@ func main() {
 		tOps      = flag.Int64("t", 0, "edge switch operations (0: derive from -x)")
 		x         = flag.Float64("x", 1, "target visit rate when -t is 0")
 		scheme    = flag.String("scheme", "HP-U", "partitioning scheme: CP, HP-D, HP-M, HP-U")
+		algo      = flag.String("algo", "edge-switch", "randomization algorithm: edge-switch, curveball (curveball: -t counts global trade rounds, -steps is ignored; must match across ranks)")
 		steps     = flag.Int64("steps", 1, "number of steps")
 		seed      = flag.Uint64("seed", 1, "random seed (must match across ranks; with -gen it defines the graph)")
 		outPath   = flag.String("out", "", "rank 0 writes the switched graph here")
@@ -59,7 +60,7 @@ func main() {
 		writeTO   = flag.Duration("write-timeout", 30*time.Second, "transport write deadline (a dead peer surfaces within this)")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *genMod, *genN, *genD, *size, *rank, *coord, *tOps, *x, *scheme, *steps, *seed, *outPath, *spawn, *timeout, *writeTO); err != nil {
+	if err := run(*graphPath, *genMod, *genN, *genD, *size, *rank, *coord, *tOps, *x, *scheme, *algo, *steps, *seed, *outPath, *spawn, *timeout, *writeTO); err != nil {
 		fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", *rank, err)
 		os.Exit(1)
 	}
@@ -79,7 +80,7 @@ func genSpec(model string, n, d int, seed uint64) (*pergen.Spec, error) {
 }
 
 func run(graphPath, genMod string, genN, genD, size, rank int, coord string, tOps int64, x float64,
-	scheme string, steps int64, seed uint64, outPath string, spawn bool, timeout, writeTO time.Duration) error {
+	scheme, algo string, steps int64, seed uint64, outPath string, spawn bool, timeout, writeTO time.Duration) error {
 
 	var g *graph.Graph
 	var spec *pergen.Spec
@@ -104,11 +105,19 @@ func run(graphPath, genMod string, genN, genD, size, rank int, coord string, tOp
 	default:
 		return fmt.Errorf("need -graph FILE or -gen MODEL")
 	}
+	// Every rank derives the same t from the same flags — with -gen this
+	// needs no collective because MaxEdges is deterministic in the spec.
 	t := tOps
+	targetX := 0.0
 	if t == 0 {
-		t, err = edgeswitch.TargetOps(mEdges, x)
+		t, err = edgeswitch.TargetOpsFor(edgeswitch.Algorithm(algo), mEdges, x)
 		if err != nil {
 			return err
+		}
+		if edgeswitch.Algorithm(algo) == edgeswitch.Curveball {
+			// The round bound is conservative; stop at the first round
+			// boundary where the observed rate reaches the target.
+			targetX = x
 		}
 	}
 	stepSize := int64(0)
@@ -118,13 +127,18 @@ func run(graphPath, genMod string, genN, genD, size, rank int, coord string, tOp
 
 	var children []*exec.Cmd
 	if spawn && rank == 0 {
-		children, err = spawnChildren(graphPath, genMod, genN, genD, size, coord, t, scheme, steps, seed, timeout)
+		// Forward the RAW -t flag, not the derived t: a child that gets an
+		// explicit t skips the derivation above and would never arm the
+		// visit-rate early stop, diverging from this rank at the stop
+		// boundary (a guaranteed deadlock for a curveball -x run). With
+		// tOps=0 every rank re-derives the same t from the same flags.
+		children, err = spawnChildren(graphPath, genMod, genN, genD, size, coord, tOps, x, scheme, algo, steps, seed, timeout)
 		if err != nil {
 			_ = reapChildren(children, true)
 			return err
 		}
 	}
-	if err := runRank(g, spec, size, rank, coord, t, scheme, stepSize, seed, outPath, timeout, writeTO); err != nil {
+	if err := runRank(g, spec, size, rank, coord, t, targetX, scheme, algo, stepSize, seed, outPath, timeout, writeTO); err != nil {
 		// Rank 0 failed (bad join, lost peer, ...): kill and reap the
 		// spawned ranks instead of orphaning them, and report our error —
 		// it is the cause, the children's exits are consequences.
@@ -136,11 +150,41 @@ func run(graphPath, genMod string, genN, genD, size, rank int, coord string, tOp
 	return reapChildren(children, false)
 }
 
+// childArgs builds the command line for spawned rank r. Every rank must
+// derive identical (t, targetX, stepSize) from identical flags, so the
+// caller forwards the RAW -t/-x flag values verbatim — never a derived
+// t, which would suppress the child's visit-rate early stop and deadlock
+// it against ranks that do stop.
+func childArgs(graphPath, genMod string, genN, genD, size, r int, coord string, t int64, x float64,
+	scheme, algo string, steps int64, seed uint64, timeout time.Duration) []string {
+
+	args := []string{
+		"-size", strconv.Itoa(size),
+		"-rank", strconv.Itoa(r),
+		"-coordinator", coord,
+		"-t", strconv.FormatInt(t, 10),
+		"-x", strconv.FormatFloat(x, 'g', -1, 64),
+		"-scheme", scheme,
+		"-algo", algo,
+		"-steps", strconv.FormatInt(steps, 10),
+		"-seed", strconv.FormatUint(seed, 10),
+		"-timeout", timeout.String(),
+	}
+	if genMod != "" {
+		// The generation spec must reach every rank verbatim — the
+		// seed and parameters ARE the graph.
+		args = append(args, "-gen", genMod, "-n", strconv.Itoa(genN), "-d", strconv.Itoa(genD))
+	} else {
+		args = append(args, "-graph", graphPath)
+	}
+	return args
+}
+
 // spawnChildren starts ranks 1..size-1 as local processes running this
 // executable. On a start failure it returns the children started so far
 // alongside the error, so the caller can reap them.
-func spawnChildren(graphPath, genMod string, genN, genD, size int, coord string, t int64,
-	scheme string, steps int64, seed uint64, timeout time.Duration) ([]*exec.Cmd, error) {
+func spawnChildren(graphPath, genMod string, genN, genD, size int, coord string, t int64, x float64,
+	scheme, algo string, steps int64, seed uint64, timeout time.Duration) ([]*exec.Cmd, error) {
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -148,24 +192,7 @@ func spawnChildren(graphPath, genMod string, genN, genD, size int, coord string,
 	}
 	var children []*exec.Cmd
 	for r := 1; r < size; r++ {
-		args := []string{
-			"-size", strconv.Itoa(size),
-			"-rank", strconv.Itoa(r),
-			"-coordinator", coord,
-			"-t", strconv.FormatInt(t, 10),
-			"-scheme", scheme,
-			"-steps", strconv.FormatInt(steps, 10),
-			"-seed", strconv.FormatUint(seed, 10),
-			"-timeout", timeout.String(),
-		}
-		if genMod != "" {
-			// The generation spec must reach every rank verbatim — the
-			// seed and parameters ARE the graph.
-			args = append(args, "-gen", genMod, "-n", strconv.Itoa(genN), "-d", strconv.Itoa(genD))
-		} else {
-			args = append(args, "-graph", graphPath)
-		}
-		cmd := exec.Command(exe, args...)
+		cmd := exec.Command(exe, childArgs(graphPath, genMod, genN, genD, size, r, coord, t, x, scheme, algo, steps, seed, timeout)...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -198,8 +225,8 @@ func reapChildren(children []*exec.Cmd, kill bool) error {
 // runRank joins the distributed world, runs this rank, and (on rank 0)
 // reports and saves the result. Exactly one of g (loaded graph) and spec
 // (distributed generation) is non-nil.
-func runRank(g *graph.Graph, spec *pergen.Spec, size, rank int, coord string, t int64, scheme string,
-	stepSize int64, seed uint64, outPath string, timeout, writeTO time.Duration) (err error) {
+func runRank(g *graph.Graph, spec *pergen.Spec, size, rank int, coord string, t int64, targetX float64,
+	scheme, algo string, stepSize int64, seed uint64, outPath string, timeout, writeTO time.Duration) (err error) {
 
 	pw, err := mpi.JoinDistributed(rank, size, coord, timeout, mpi.WithWriteTimeout(writeTO))
 	if err != nil {
@@ -216,10 +243,12 @@ func runRank(g *graph.Graph, spec *pergen.Spec, size, rank int, coord string, t 
 	var res *core.Result
 	err = pw.Run(func(c *mpi.Comm) error {
 		r, err := core.RunRank(c, g, t, core.Config{
-			Scheme:         core.Scheme(scheme),
-			StepSize:       stepSize,
-			Seed:           seed,
-			DistributedGen: spec,
+			Scheme:          core.Scheme(scheme),
+			StepSize:        stepSize,
+			Seed:            seed,
+			Algorithm:       core.Algorithm(algo),
+			TargetVisitRate: targetX,
+			DistributedGen:  spec,
 		})
 		if err != nil {
 			return err

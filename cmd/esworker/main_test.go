@@ -31,8 +31,25 @@ func TestMain(m *testing.M) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		steps := int64(3)
+		if os.Getenv("ESWORKER_TEST_ALGO") == "curveball" {
+			steps = 1
+		}
+		tOps, x := int64(30), 1.0
+		if tv := os.Getenv("ESWORKER_TEST_T"); tv != "" {
+			if tOps, err = strconv.ParseInt(tv, 10, 64); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if xv := os.Getenv("ESWORKER_TEST_X"); xv != "" {
+			if x, err = strconv.ParseFloat(xv, 64); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		err = run(os.Getenv("ESWORKER_TEST_GRAPH"), os.Getenv("ESWORKER_TEST_GEN"), 600, 4, size, rank, os.Getenv("ESWORKER_TEST_COORD"),
-			30, 1, "HP-D", 3, 9, "", false, 10*time.Second, 10*time.Second)
+			tOps, x, "HP-D", os.Getenv("ESWORKER_TEST_ALGO"), steps, 9, "", false, 10*time.Second, 10*time.Second)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", rank, err)
 			os.Exit(1)
@@ -66,7 +83,7 @@ func writeTestGraph(t *testing.T) string {
 func TestRunSingleRank(t *testing.T) {
 	g := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "out.txt")
-	err := run(g, "", 0, 0, 1, 0, freePort(t), 20, 1, "CP", 1, 3, out, false, 5*time.Second, 5*time.Second)
+	err := run(g, "", 0, 0, 1, 0, freePort(t), 20, 1, "CP", "", 1, 3, out, false, 5*time.Second, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +105,7 @@ func TestRunMultiRankInProcess(t *testing.T) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = run(g, "", 0, 0, size, rank, addr, 30, 1, "HP-D", 3, 9, "", false, 10*time.Second, 10*time.Second)
+			errs[rank] = run(g, "", 0, 0, size, rank, addr, 30, 1, "HP-D", "", 3, 9, "", false, 10*time.Second, 10*time.Second)
 		}(rank)
 	}
 	wg.Wait()
@@ -123,7 +140,7 @@ func TestRunMultiProcess(t *testing.T) {
 		}
 		children = append(children, cmd)
 	}
-	runErr := run(g, "", 0, 0, size, 0, addr, 30, 1, "HP-D", 3, 9, "", false, 20*time.Second, 10*time.Second)
+	runErr := run(g, "", 0, 0, size, 0, addr, 30, 1, "HP-D", "", 3, 9, "", false, 20*time.Second, 10*time.Second)
 	reapErr := reapChildren(children, runErr != nil)
 	if runErr != nil {
 		t.Fatalf("rank 0: %v", runErr)
@@ -150,7 +167,7 @@ func TestRunGenMultiRank(t *testing.T) {
 			if rank == 0 {
 				o = out
 			}
-			errs[rank] = run("", "pa", 600, 4, size, rank, addr, 50, 1, "CP", 1, 9, o, false, 10*time.Second, 10*time.Second)
+			errs[rank] = run("", "pa", 600, 4, size, rank, addr, 50, 1, "CP", "", 1, 9, o, false, 10*time.Second, 10*time.Second)
 		}(rank)
 	}
 	wg.Wait()
@@ -165,16 +182,16 @@ func TestRunGenMultiRank(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", 0, 0, 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
+	if err := run("", "", 0, 0, 1, 0, "127.0.0.1:1", 10, 1, "CP", "", 1, 1, "", false, time.Second, time.Second); err == nil {
 		t.Fatal("missing graph accepted")
 	}
-	if err := run("/nonexistent/file.txt", "", 0, 0, 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
+	if err := run("/nonexistent/file.txt", "", 0, 0, 1, 0, "127.0.0.1:1", 10, 1, "CP", "", 1, 1, "", false, time.Second, time.Second); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run("g.txt", "pa", 100, 4, 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
+	if err := run("g.txt", "pa", 100, 4, 1, 0, "127.0.0.1:1", 10, 1, "CP", "", 1, 1, "", false, time.Second, time.Second); err == nil {
 		t.Fatal("both -graph and -gen accepted")
 	}
-	if err := run("", "bogus", 100, 4, 1, 0, "127.0.0.1:1", 10, 1, "CP", 1, 1, "", false, time.Second, time.Second); err == nil {
+	if err := run("", "bogus", 100, 4, 1, 0, "127.0.0.1:1", 10, 1, "CP", "", 1, 1, "", false, time.Second, time.Second); err == nil {
 		t.Fatal("bogus -gen model accepted")
 	}
 }
@@ -225,5 +242,131 @@ func TestReapChildrenReportsFailure(t *testing.T) {
 	var exitErr *exec.ExitError
 	if !errors.As(err, &exitErr) {
 		t.Fatalf("want ExitError in chain, got %v", err)
+	}
+}
+
+// TestRunCurveballMultiRankInProcess is the in-process multi-rank leg of
+// the curveball protocol over the real distributed transport (part of
+// the race gate: `make racedist` runs this package under -race).
+func TestRunCurveballMultiRankInProcess(t *testing.T) {
+	g := writeTestGraph(t)
+	addr := freePort(t)
+	const size = 3
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for rank := 0; rank < size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = run(g, "", 0, 0, size, rank, addr, 5, 1, "HP-D", "curveball", 1, 9, "", false, 10*time.Second, 10*time.Second)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+// TestRunCurveballMultiProcess runs curveball trades across real OS
+// processes (see TestMain): the multi-process CI leg for the second
+// randomizer.
+func TestRunCurveballMultiProcess(t *testing.T) {
+	g := writeTestGraph(t)
+	addr := freePort(t)
+	const size = 3
+	var children []*exec.Cmd
+	for rank := 1; rank < size; rank++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"ESWORKER_TEST_RANK="+strconv.Itoa(rank),
+			"ESWORKER_TEST_SIZE="+strconv.Itoa(size),
+			"ESWORKER_TEST_GRAPH="+g,
+			"ESWORKER_TEST_COORD="+addr,
+			"ESWORKER_TEST_ALGO=curveball",
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		children = append(children, cmd)
+	}
+	runErr := run(g, "", 0, 0, size, 0, addr, 30, 1, "HP-D", "curveball", 1, 9, "", false, 20*time.Second, 10*time.Second)
+	reapErr := reapChildren(children, runErr != nil)
+	if runErr != nil {
+		t.Fatalf("rank 0: %v", runErr)
+	}
+	if reapErr != nil {
+		t.Fatalf("child: %v", reapErr)
+	}
+}
+
+// TestRunCurveballVisitRateMultiProcess is the regression pin for the
+// visit-rate early stop across real OS processes: every rank gets the
+// raw t=0/-x flags, derives the same round budget, arms the same
+// targetX, and must agree on the stop boundary — any divergence (like
+// forwarding a derived t to some ranks, which disarms their early stop)
+// deadlocks the world instead of finishing.
+func TestRunCurveballVisitRateMultiProcess(t *testing.T) {
+	addr := freePort(t)
+	const size = 3
+	var children []*exec.Cmd
+	for rank := 1; rank < size; rank++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"ESWORKER_TEST_RANK="+strconv.Itoa(rank),
+			"ESWORKER_TEST_SIZE="+strconv.Itoa(size),
+			"ESWORKER_TEST_GEN=pa",
+			"ESWORKER_TEST_COORD="+addr,
+			"ESWORKER_TEST_ALGO=curveball",
+			"ESWORKER_TEST_T=0",
+			"ESWORKER_TEST_X=0.9",
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		children = append(children, cmd)
+	}
+	runErr := run("", "pa", 600, 4, size, 0, addr, 0, 0.9, "HP-D", "curveball", 1, 9, "", false, 20*time.Second, 10*time.Second)
+	reapErr := reapChildren(children, runErr != nil)
+	if runErr != nil {
+		t.Fatalf("rank 0: %v", runErr)
+	}
+	if reapErr != nil {
+		t.Fatalf("child: %v", reapErr)
+	}
+}
+
+// TestChildArgsForwardRawFlags pins the spawn contract childArgs
+// documents: the raw -t/-x flag values reach children verbatim. A
+// derived t here once suppressed the children's early stop and hung
+// -spawn -x curveball runs.
+func TestChildArgsForwardRawFlags(t *testing.T) {
+	args := childArgs("", "pa", 5000, 6, 3, 2, "127.0.0.1:9", 0, 0.9,
+		"HP-D", "curveball", 1, 42, 10*time.Second)
+	get := func(flag string) string {
+		for i := 0; i+1 < len(args); i++ {
+			if args[i] == flag {
+				return args[i+1]
+			}
+		}
+		t.Fatalf("flag %s missing from %v", flag, args)
+		return ""
+	}
+	if v := get("-t"); v != "0" {
+		t.Fatalf("-t forwarded as %q, want the raw flag value 0", v)
+	}
+	if v := get("-x"); v != "0.9" {
+		t.Fatalf("-x forwarded as %q, want 0.9", v)
+	}
+	if v := get("-rank"); v != "2" {
+		t.Fatalf("-rank %q", v)
+	}
+	if v := get("-gen"); v != "pa" {
+		t.Fatalf("-gen %q", v)
 	}
 }

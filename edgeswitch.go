@@ -55,6 +55,9 @@ type (
 	Vertex = graph.Vertex
 	// Scheme selects the parallel partitioning scheme.
 	Scheme = core.Scheme
+	// Algorithm selects the randomization protocol (edge switching or
+	// global curveball trades) behind the core engine's Randomizer seam.
+	Algorithm = core.Algorithm
 	// GenSpec describes a graph for counter-based, communication-free
 	// parallel generation (internal/gen/pergen): the graph is a pure,
 	// p-invariant function of the spec, so parallel ranks can each build
@@ -83,14 +86,32 @@ const (
 	HPU = core.SchemeHPU
 )
 
+// Randomization algorithms for Options.Algorithm.
+const (
+	// EdgeSwitch is the paper's protocol: each operation switches the
+	// endpoints of two random edges (the default).
+	EdgeSwitch = core.AlgoEdgeSwitch
+	// Curveball runs global curveball trades: each operation count unit
+	// is one global round pairing every vertex and trading the disjoint
+	// parts of the paired adjacency lists.
+	Curveball = core.AlgoCurveball
+)
+
 // Options configures a Run.
 type Options struct {
-	// Ops is the number of edge switch operations t. If zero, it is
-	// derived from VisitRate.
+	// Ops is the operation count t: edge switch operations, or global
+	// rounds when Algorithm is Curveball. If zero, it is derived from
+	// VisitRate.
 	Ops int64
 	// VisitRate is the target fraction x of edges to modify, used when
-	// Ops is zero (t = E[T]/2 per §3.1). Defaults to 1.
+	// Ops is zero (t = E[T]/2 per §3.1 for edge switching; the
+	// conservative per-round bound of core.CurveballRoundsForVisitRate
+	// for curveball, with the run stopping early once the observed rate
+	// reaches x). Defaults to 1.
 	VisitRate float64
+	// Algorithm selects the randomization protocol: EdgeSwitch (the
+	// default) or Curveball.
+	Algorithm Algorithm
 	// Ranks is the number of parallel ranks p. 0 or 1 selects the
 	// sequential algorithm.
 	Ranks int
@@ -126,8 +147,10 @@ type Options struct {
 type Report struct {
 	// Result is the switched graph.
 	Result *Graph
-	// Ops, Restarts, Forfeited are operation counters (Forfeited is
-	// always 0 except on degenerate tiny inputs).
+	// Ops, Restarts, Forfeited are operation counters: switches performed
+	// for EdgeSwitch, trades executed for Curveball (Restarts and
+	// Forfeited are curveball-free concepts and stay 0 there; Forfeited
+	// is always 0 except on degenerate tiny inputs).
 	Ops, Restarts, Forfeited int64
 	// VisitRate is the observed visit rate.
 	VisitRate float64
@@ -137,9 +160,17 @@ type Report struct {
 	Parallel *core.Result
 }
 
-// TargetOps converts a visit rate into an operation count (t = E[T]/2).
+// TargetOps converts a visit rate into an edge-switch operation count
+// (t = E[T]/2).
 func TargetOps(m int64, visitRate float64) (int64, error) {
 	return core.OpsForVisitRate(m, visitRate)
+}
+
+// TargetOpsFor converts a visit rate into the operation count of the
+// given algorithm: switch operations for EdgeSwitch, global rounds for
+// Curveball.
+func TargetOpsFor(algo Algorithm, m int64, visitRate float64) (int64, error) {
+	return core.OpsForVisitRateAlgo(algo, m, visitRate)
 }
 
 // Run switches edges on g according to opt and returns a report. The
@@ -166,7 +197,7 @@ func Run(g *Graph, opt Options) (*Report, error) {
 	if g == nil {
 		return nil, fmt.Errorf("edgeswitch: need a graph or Options.Gen")
 	}
-	t, err := targetOps(g.M(), opt)
+	t, targetX, err := targetOps(g.M(), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +207,15 @@ func Run(g *Graph, opt Options) (*Report, error) {
 			work = g.Clone(rng.Split(opt.Seed, 0))
 		}
 		start := time.Now()
-		st, err := core.Sequential(work, t, rng.Split(opt.Seed, 1))
+		var st core.SeqStats
+		switch opt.Algorithm {
+		case Curveball:
+			st, err = core.SequentialCurveball(work, t, opt.Seed)
+		case EdgeSwitch, "":
+			st, err = core.Sequential(work, t, rng.Split(opt.Seed, 1))
+		default:
+			err = fmt.Errorf("edgeswitch: unknown algorithm %q", opt.Algorithm)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -189,12 +228,14 @@ func Run(g *Graph, opt Options) (*Report, error) {
 		}, nil
 	}
 	res, err := core.Parallel(g, t, core.Config{
-		Ranks:          opt.Ranks,
-		Scheme:         opt.Scheme,
-		StepSize:       opt.StepSize,
-		Seed:           opt.Seed,
-		UseTCP:         opt.UseTCP,
-		AdaptiveWindow: opt.AdaptiveWindow,
+		Ranks:           opt.Ranks,
+		Scheme:          opt.Scheme,
+		StepSize:        opt.StepSize,
+		Seed:            opt.Seed,
+		UseTCP:          opt.UseTCP,
+		AdaptiveWindow:  opt.AdaptiveWindow,
+		Algorithm:       core.Algorithm(opt.Algorithm),
+		TargetVisitRate: targetX,
 	})
 	if err != nil {
 		return nil, err
@@ -210,18 +251,20 @@ func runDistributedGen(opt Options) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	t, err := targetOps(spec.MaxEdges(), opt)
+	t, targetX, err := targetOps(spec.MaxEdges(), opt)
 	if err != nil {
 		return nil, err
 	}
 	res, err := core.Parallel(nil, t, core.Config{
-		Ranks:          opt.Ranks,
-		Scheme:         opt.Scheme,
-		StepSize:       opt.StepSize,
-		Seed:           opt.Seed,
-		UseTCP:         opt.UseTCP,
-		AdaptiveWindow: opt.AdaptiveWindow,
-		DistributedGen: &spec,
+		Ranks:           opt.Ranks,
+		Scheme:          opt.Scheme,
+		StepSize:        opt.StepSize,
+		Seed:            opt.Seed,
+		UseTCP:          opt.UseTCP,
+		AdaptiveWindow:  opt.AdaptiveWindow,
+		Algorithm:       core.Algorithm(opt.Algorithm),
+		TargetVisitRate: targetX,
+		DistributedGen:  &spec,
 	})
 	if err != nil {
 		return nil, err
@@ -230,16 +273,27 @@ func runDistributedGen(opt Options) (*Report, error) {
 }
 
 // targetOps resolves the operation count from Options (explicit Ops, or
-// the visit-rate derivation over m edges).
-func targetOps(m int64, opt Options) (int64, error) {
+// the per-algorithm visit-rate derivation over m edges). For
+// visit-rate-driven curveball runs it also returns the rate as an
+// early-stop target: the round bound is conservative, so the engine
+// should quit at the first round boundary where the observed rate
+// reaches it rather than run the full bound.
+func targetOps(m int64, opt Options) (int64, float64, error) {
 	if opt.Ops != 0 {
-		return opt.Ops, nil
+		return opt.Ops, 0, nil
 	}
 	x := opt.VisitRate
 	if x == 0 {
 		x = 1
 	}
-	return core.OpsForVisitRate(m, x)
+	t, err := core.OpsForVisitRateAlgo(core.Algorithm(opt.Algorithm), m, x)
+	if err != nil {
+		return 0, 0, err
+	}
+	if opt.Algorithm == Curveball {
+		return t, x, nil
+	}
+	return t, 0, nil
 }
 
 func parallelReport(res *core.Result) *Report {

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"edgeswitch/internal/gen/pergen"
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/mpi"
+)
+
+// The randomizer benchmark matrix behind BENCH_curveball.json: both
+// algorithms behind the Randomizer seam (edge-switch conversations vs
+// global curveball trades) driven to the SAME target visit rate
+// (x = 0.9) on the pergen evaluation graphs (pa, contact), across both
+// transports and p ∈ {2, 8}. Each algorithm gets its own per-algorithm
+// budget (OpsForVisitRateAlgo) and the engine's TargetVisitRate early
+// stop, so the comparison is work-to-reach-x, not work-per-op: an
+// edge-switch op rewires 2 edges after a conversation, a curveball
+// round trades every adjacency list at once with zero conversations.
+
+// randBenchTargetX is the matrix's common target visit rate.
+const randBenchTargetX = 0.9
+
+// randBenchCell is one matrix measurement, as committed to
+// BENCH_curveball.json.
+type randBenchCell struct {
+	Algo      string  `json:"algo"`
+	Model     string  `json:"model"`
+	Transport string  `json:"transport"`
+	Ranks     int     `json:"ranks"`
+	M         int64   `json:"m"`          // edge count of the input graph
+	Budget    int64   `json:"budget"`     // per-algorithm t for x=0.9 (ops, or rounds)
+	Steps     int     `json:"steps"`      // steps actually run (early stop can shorten)
+	Ops       int64   `json:"ops"`        // operations executed (switches, or trades)
+	VisitRate float64 `json:"visit_rate"` // achieved — must be >= 0.9
+	Msgs      int64   `json:"msgs"`       // transport payloads
+	Bytes     int64   `json:"bytes"`      // transport payload volume
+	Seconds   float64 `json:"seconds"`
+}
+
+// randBenchGraph materializes a pergen benchmark graph small enough for
+// the full matrix to run in benchsmoke.
+func randBenchGraph(tb testing.TB, model string) *graph.Graph {
+	tb.Helper()
+	d := 5
+	if model == "contact" {
+		d = 6
+	}
+	pg, err := pergen.New(benchGenSpec(model, 2000, d))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, err := pg.Full()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// runRandomizerCell drives one matrix cell: a full run to the target
+// visit rate on a fresh world, returning the measurement.
+func runRandomizerCell(tb testing.TB, algo Algorithm, model, transport string, p int) randBenchCell {
+	tb.Helper()
+	g := randBenchGraph(tb, model)
+	budget, err := OpsForVisitRateAlgo(algo, g.M(), randBenchTargetX)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := Config{
+		Ranks:           p,
+		Scheme:          SchemeHPD,
+		Seed:            42,
+		Algorithm:       algo,
+		TargetVisitRate: randBenchTargetX,
+		SkipResult:      true,
+	}
+	if algo != AlgoCurveball {
+		// Ten quota steps give the early stop boundaries to act on; a
+		// curveball step is always one round.
+		cfg.StepSize = budget / 10
+	}
+	var opts []mpi.Option
+	if transport == "tcp" {
+		opts = append(opts, mpi.WithTCP())
+	}
+	w, err := mpi.NewWorld(p, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer w.Close()
+	var res *Result
+	start := w.Stats()
+	t0 := time.Now()
+	err = w.Run(func(c *mpi.Comm) error {
+		r, err := RunRank(c, g, budget, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	elapsed := time.Since(t0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	st := w.Stats()
+	return randBenchCell{
+		Algo:      string(algo),
+		Model:     model,
+		Transport: transport,
+		Ranks:     p,
+		M:         g.M(),
+		Budget:    budget,
+		Steps:     res.Steps,
+		Ops:       res.Ops,
+		VisitRate: res.VisitRate,
+		Msgs:      st.Sends - start.Sends,
+		Bytes:     st.Bytes - start.Bytes,
+		Seconds:   elapsed.Seconds(),
+	}
+}
+
+// BenchmarkRandomizer times both randomizers to the common target visit
+// rate across the transport × rank matrix on the pergen graphs.
+func BenchmarkRandomizer(b *testing.B) {
+	for _, algo := range Algorithms() {
+		for _, model := range []string{"pa", "contact"} {
+			for _, transport := range []string{"mem", "tcp"} {
+				for _, p := range []int{2, 8} {
+					b.Run(fmt.Sprintf("%s/%s/%s/p%d", algo, model, transport, p), func(b *testing.B) {
+						var cell randBenchCell
+						for i := 0; i < b.N; i++ {
+							cell = runRandomizerCell(b, algo, model, transport, p)
+						}
+						if cell.VisitRate < randBenchTargetX {
+							b.Fatalf("visit rate %v below target %v", cell.VisitRate, randBenchTargetX)
+						}
+						b.ReportMetric(float64(cell.Ops)/cell.Seconds, "ops/s")
+						b.ReportMetric(cell.VisitRate, "visitrate")
+						b.ReportMetric(float64(cell.Msgs), "msgs/run")
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestBenchRandomizerRecord regenerates BENCH_curveball.json from the
+// mem-transport matrix. Run with BENCHRECORD=1 after engine changes that
+// move the numbers, and commit the result.
+func TestBenchRandomizerRecord(t *testing.T) {
+	if os.Getenv("BENCHRECORD") == "" {
+		t.Skip("set BENCHRECORD=1 to regenerate BENCH_curveball.json")
+	}
+	var cells []randBenchCell
+	for _, algo := range Algorithms() {
+		for _, model := range []string{"pa", "contact"} {
+			for _, p := range []int{2, 8} {
+				cell := runRandomizerCell(t, algo, model, "mem", p)
+				if cell.VisitRate < randBenchTargetX {
+					t.Fatalf("%s/%s/p%d: visit rate %v below target", algo, model, p, cell.VisitRate)
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	doc := map[string]any{
+		"benchmark": "BenchmarkRandomizer (internal/core/bench_randomizer_test.go)",
+		"description": "Both randomizers behind the engine seam driven to the same target visit rate " +
+			"(x=0.9, TargetVisitRate early stop) on pergen graphs (pa n=2000 d=5, contact n=2000 d=6), " +
+			"mem transport, p in {2,8}, seed 42. budget is the per-algorithm t for x=0.9 " +
+			"(OpsForVisitRateAlgo: switch ops, or global rounds via the conservative 0.25/round bound); " +
+			"steps/ops/visit_rate are what the run actually did. Curveball cells are deterministic " +
+			"(p-invariant trades; the guard pins them exactly); edge-switch cells vary with scheduling " +
+			"(the guard only bands msgs and checks the target).",
+		"date":     time.Now().Format("2006-01-02"),
+		"command":  "BENCHRECORD=1 go test -run '^TestBenchRandomizerRecord$' -v ./internal/core/",
+		"target_x": randBenchTargetX,
+		"matrix":   cells,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_curveball.json", append(raw, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_curveball.json with %d cells", len(cells))
+}
+
+// TestBenchsmokeCurveballRegression is the benchsmoke guard for the
+// randomizer seam: it replays the pa/mem cells of BENCH_curveball.json
+// at p=2 once per algorithm and fails if (a) either algorithm no longer
+// reaches the common target visit rate within its per-algorithm budget,
+// (b) the curveball trajectory drifts from the committed baseline —
+// trades are deterministic and p-invariant, so steps, ops, and achieved
+// visit rate must match exactly — or (c) either algorithm's transport
+// sends regress beyond 2x the committed value. Runs only under
+// BENCHSMOKE=1 (`make benchsmoke`).
+func TestBenchsmokeCurveballRegression(t *testing.T) {
+	if os.Getenv("BENCHSMOKE") == "" {
+		t.Skip("set BENCHSMOKE=1 to run the benchsmoke regression guard")
+	}
+	raw, err := os.ReadFile("../../BENCH_curveball.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	var bench struct {
+		TargetX float64         `json:"target_x"`
+		Matrix  []randBenchCell `json:"matrix"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("BENCH_curveball.json: %v", err)
+	}
+	if bench.TargetX != randBenchTargetX {
+		t.Fatalf("baseline target_x %v, guard expects %v", bench.TargetX, randBenchTargetX)
+	}
+	base := map[string]randBenchCell{}
+	for _, c := range bench.Matrix {
+		if c.Model == "pa" && c.Transport == "mem" && c.Ranks == 2 {
+			base[c.Algo] = c
+		}
+	}
+	for _, algo := range Algorithms() {
+		bc, ok := base[string(algo)]
+		if !ok {
+			t.Fatalf("BENCH_curveball.json lacks the pa/mem/p2 %s baseline", algo)
+		}
+		got := runRandomizerCell(t, algo, "pa", "mem", 2)
+		t.Logf("%s: visit rate %.4f in %d steps / %d ops, %d msgs (baseline %.4f / %d / %d / %d)",
+			algo, got.VisitRate, got.Steps, got.Ops, got.Msgs, bc.VisitRate, bc.Steps, bc.Ops, bc.Msgs)
+		if got.VisitRate < randBenchTargetX {
+			t.Errorf("%s: visit rate %v no longer reaches the target %v", algo, got.VisitRate, randBenchTargetX)
+		}
+		if algo == AlgoCurveball {
+			if got.Steps != bc.Steps || got.Ops != bc.Ops || got.VisitRate != bc.VisitRate {
+				t.Errorf("%s trajectory drifted: steps %d ops %d rate %v, baseline steps %d ops %d rate %v — trades are deterministic, so this is a correctness regression",
+					algo, got.Steps, got.Ops, got.VisitRate, bc.Steps, bc.Ops, bc.VisitRate)
+			}
+		}
+		if got.Msgs > 2*bc.Msgs {
+			t.Errorf("%s transport sends regressed >2x: %d vs baseline %d", algo, got.Msgs, bc.Msgs)
+		}
+	}
+}
+
+// TestLargeCurveballSmoke is the large-graph CI leg for the curveball
+// randomizer: a full run to the target visit rate on a ~10^6-edge
+// pergen pa graph at p=8, sanity-checking the achieved rate. Runs only
+// under ESLARGE=1 (`make largesmoke`), time-boxed by -timeout.
+func TestLargeCurveballSmoke(t *testing.T) {
+	if os.Getenv("ESLARGE") == "" {
+		t.Skip("set ESLARGE=1 to run the large-graph curveball smoke")
+	}
+	spec := benchGenSpec("pa", 100_001, 10) // MaxEdges 1,000,005
+	budget, err := OpsForVisitRateAlgo(AlgoCurveball, spec.MaxEdges(), randBenchTargetX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var res *Result
+	start := time.Now()
+	err = w.Run(func(c *mpi.Comm) error {
+		r, err := RunRank(c, nil, budget, Config{
+			Ranks:           8,
+			Scheme:          SchemeHPD,
+			Seed:            42,
+			Algorithm:       AlgoCurveball,
+			TargetVisitRate: randBenchTargetX,
+			SkipResult:      true,
+			DistributedGen:  &spec,
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VisitRate < randBenchTargetX {
+		t.Errorf("visit rate %v below target %v", res.VisitRate, randBenchTargetX)
+	}
+	t.Logf("pa n=%d p=8: visit rate %.4f in %d rounds (%d trades) in %v",
+		spec.N, res.VisitRate, res.Steps, res.Ops, time.Since(start))
+}

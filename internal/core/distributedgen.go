@@ -167,6 +167,8 @@ func newRankEngineFromGen(c *mpi.Comm, pt partition.Partitioner, gn *pergen.Gen,
 	if err != nil {
 		return nil, err
 	}
-	e.finishLoad(total[0], cfg)
+	if err := e.finishLoad(total[0], cfg); err != nil {
+		return nil, err
+	}
 	return e, nil
 }

@@ -4,27 +4,35 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"edgeswitch/internal/graph"
 	"edgeswitch/internal/mpi"
 	"edgeswitch/internal/partition"
-	"edgeswitch/internal/randvar"
 	"edgeswitch/internal/rng"
 	"edgeswitch/internal/tune/window"
 )
 
-// rankEngine is one rank's private world: its partition of the graph
-// (reduced adjacency lists of the vertices it owns), the in-flight
-// operation state, and the bookkeeping sets the protocol needs. Ranks
-// never touch each other's engines; everything flows through c.
+// rankEngine is one rank's chassis: its partition of the graph (reduced
+// adjacency lists of the vertices it owns), the step loop with its
+// drain/stall/EOS machinery, the batching message plane, and the
+// sanitizer bookkeeping. The algorithm-specific protocol state lives
+// behind rand (see randomizer.go). Ranks never touch each other's
+// engines; everything flows through c.
 type rankEngine struct {
 	c   *mpi.Comm
 	pt  partition.Partitioner
 	rnd *rng.RNG
 
+	// seed is the run seed verbatim (rnd is already split per rank);
+	// randomizers that key counter streams off global coordinates
+	// (curveball's pairing and trade streams) need the shared value.
+	seed uint64
+
 	n int   // global vertex count
 	m int64 // global edge count (invariant)
+
+	// rand is the protocol implementation driven by the step loop.
+	rand randomizer
 
 	// Local storage: verts lists owned vertices ascending; index maps a
 	// global vertex id to its slot; adj[slot] holds the reduced
@@ -42,6 +50,23 @@ type rankEngine struct {
 
 	initialEdges int64
 
+	// origLocal counts local adjacency entries still flagged original,
+	// maintained by the takeLocal/insertLocal/drainLocal accounting
+	// helpers. Summed across ranks at every step boundary (fused into
+	// stepExchange) it yields the exact global visit rate without
+	// reassembling the graph.
+	origLocal int64
+
+	// targetX, when positive, stops the run at the first step boundary
+	// whose fused originals exchange shows the global visit rate reached
+	// the target (Config.TargetVisitRate). Deterministic across ranks:
+	// every rank evaluates the same gathered sum.
+	targetX float64
+
+	// stepsRun counts completed steps, including a final partial one cut
+	// short by targetX — the number Result.Steps reports.
+	stepsRun int64
+
 	// selfQ buffers messages this rank addressed to itself (local
 	// switches and locally-owned replacement edges). Bypassing the
 	// mailbox for them keeps per-pair FIFO (it is its own pair) and
@@ -54,56 +79,14 @@ type rankEngine struct {
 	// recvBuf is the reused RecvAllInto batch slice for the drain loop.
 	recvBuf []mpi.Message
 
-	// inHand holds edges provisionally removed by an in-flight operation
-	// this rank initiated (its e1) or is partnering (its e2); the value
-	// preserves the original flag for reinsertion on abort. potential
-	// holds replacement edges reserved at this rank (§4.5 issue 1).
-	inHand    map[graph.Edge]bool
-	potential map[graph.Edge]opID
-
-	// cumEdges is the step-start prefix-sum of per-rank edge counts used
-	// to draw the partner rank with probability |E_j|/|E|; qBuf is the
-	// matching multinomial weight scratch. Both are sized once and
-	// rewritten at every step boundary.
-	cumEdges []int64
-	qBuf     []float64
-
-	// Initiator-side state: own operations in flight, keyed by id with
-	// the taken first edge as value. Up to opWindow operations are
-	// pipelined concurrently (see opWindowSize): a window keeps the rank
-	// busy between replies, and — the message plane's point — gives each
-	// flush several records per destination instead of one. Semantically
-	// a window is no different from the concurrency already present
-	// across ranks: an in-flight e1 is out of the partition, so peers
-	// treat it exactly like another rank's in-hand edge.
-	myOps     map[opID]graph.Edge
-	seq       uint64
-	remaining int64 // ops still to complete this step
-	sentEOS   bool
-	eosOthers int
-
-	// curRestarts counts consecutive aborts across own operations. The
-	// partner-selection probabilities are stale within a step (they are
-	// refreshed only at step boundaries, §4.5), so on degenerate tiny
-	// graphs every candidate partner can be empty; past restartExplore
-	// the partner is drawn uniformly instead, and past restartForfeit one
-	// operation is abandoned. Realistic partitions never approach either
-	// threshold.
-	curRestarts int64
-
-	// Stall detection (see mStalled in messages.go): myStalled is this
-	// rank's announced state; stalled/stalledCount track peers that have
-	// quota left but empty partitions.
+	// Step-boundary signalling: sentEOS/eosOthers implement the
+	// end-of-step barrier; myStalled/stalled/stalledCount the stall
+	// detection (see mStalled in messages.go).
+	sentEOS      bool
+	eosOthers    int
 	myStalled    bool
 	stalled      []bool
 	stalledCount int
-
-	// Partner-side state: operations this rank is orchestrating. poFree
-	// recycles finished partnerOp records (one is retired per reply
-	// conversation, so the freelist stays at the in-flight high-water
-	// mark).
-	partnerOps map[opID]*partnerOp
-	poFree     []*partnerOp
 
 	// sb is the batching message plane (see sendbuf.go): outbound
 	// protocol messages coalesce per destination and flush whenever the
@@ -125,9 +108,7 @@ type rankEngine struct {
 
 	// st accumulates this step's protocol signals; at each step boundary
 	// it is folded into tot and (in adaptive runs) fed to winCtl, then
-	// reset. curRestarts above is the only restart counter that survives
-	// inside a step — it drives the explore/forfeit escalation, while st
-	// carries the per-step aggregate the controller consumes.
+	// reset.
 	st  stepStats
 	tot stepStats
 
@@ -172,19 +153,6 @@ func (t *stepStats) add(s stepStats) {
 		t.inFlightHWM = s.inFlightHWM
 	}
 }
-
-// Partner-op phases.
-const (
-	phaseReserving = iota
-	phaseCommitting
-	phaseReleasing
-)
-
-// Restart-escalation thresholds (see rankEngine.curRestarts).
-const (
-	restartExplore = 256
-	restartForfeit = 20000
-)
 
 // opWindow caps the number of own operations a rank pipelines.
 const opWindow = 64
@@ -232,24 +200,11 @@ func (e *rankEngine) opWindowSize() int {
 	return w
 }
 
-// partnerOp is the partner's view of an operation it orchestrates.
-type partnerOp struct {
-	id        opID
-	initiator int
-	e2        graph.Edge
-	edges     [2]graph.Edge // replacement edges A, B
-	owners    [2]int
-	resolved  [2]bool
-	okay      [2]bool
-	phase     int
-	acksLeft  int
-}
-
 // newRankEngine loads a rank's partition and prepares its state. Only
-// cfg.Seed, cfg.CheckInvariants, cfg.DisableBatching and the window
-// fields are consulted; the communicator decides everything else. With
-// CheckInvariants set, every step boundary of the run re-verifies the
-// engine invariants (see sanitize.go and stepsync.go).
+// cfg.Seed, cfg.Algorithm, cfg.CheckInvariants, cfg.DisableBatching and
+// the window fields are consulted; the communicator decides everything
+// else. With CheckInvariants set, every step boundary of the run
+// re-verifies the engine invariants (see sanitize.go and stepsync.go).
 func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges []flaggedEdge, cfg Config) (*rankEngine, error) {
 	e := newEmptyRankEngine(c, pt, n, cfg)
 	for _, fe := range edges {
@@ -262,7 +217,9 @@ func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges 
 		}
 		e.deg.Add(int(li), 1)
 	}
-	e.finishLoad(m, cfg)
+	if err := e.finishLoad(m, cfg); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -271,17 +228,16 @@ func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges 
 // distributed-generation scan) and then finishLoad.
 func newEmptyRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, cfg Config) *rankEngine {
 	e := &rankEngine{
-		c:          c,
-		pt:         pt,
-		rnd:        rng.Split(cfg.Seed, c.Rank()+2),
-		n:          n,
-		verts:      partition.LocalVertices(pt, n, c.Rank()),
-		inHand:     make(map[graph.Edge]bool),
-		potential:  make(map[graph.Edge]opID),
-		myOps:      make(map[opID]graph.Edge),
-		partnerOps: make(map[opID]*partnerOp),
-		sanitize:   cfg.CheckInvariants,
-		noBatch:    cfg.DisableBatching,
+		c:        c,
+		pt:       pt,
+		rnd:      rng.Split(cfg.Seed, c.Rank()+2),
+		seed:     cfg.Seed,
+		n:        n,
+		verts:    partition.LocalVertices(pt, n, c.Rank()),
+		sanitize: cfg.CheckInvariants,
+		noBatch:  cfg.DisableBatching,
+		targetX:  cfg.TargetVisitRate,
+		stalled:  make([]bool, c.Size()),
 	}
 	e.sb.init(c)
 	if e.sanitize {
@@ -296,12 +252,17 @@ func newEmptyRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, cfg Config
 	return e
 }
 
-// finishLoad records the global edge count m and the partition size, and
-// arms the adaptive window controller — the steps that need the local
+// finishLoad records the global edge count m and the partition size,
+// counts the loaded originals, arms the adaptive window controller, and
+// attaches the configured randomizer — the steps that need the local
 // edges to be in place.
-func (e *rankEngine) finishLoad(m int64, cfg Config) {
+func (e *rankEngine) finishLoad(m int64, cfg Config) error {
 	e.m = m
 	e.initialEdges = e.deg.Total()
+	e.origLocal = 0
+	for li := range e.adj {
+		e.origLocal += int64(e.adj[li].Originals())
+	}
 	if cfg.AdaptiveWindow {
 		// Start at the fixed window the controller replaces, so an
 		// adaptive run never opens worse than a fixed one. With
@@ -319,14 +280,30 @@ func (e *rankEngine) finishLoad(m int64, cfg Config) {
 			Start:   start,
 		})
 	}
+	algo, err := cfg.algorithm()
+	if err != nil {
+		return err
+	}
+	switch algo {
+	case AlgoCurveball:
+		e.rand, err = newCurveball(e)
+		if err != nil {
+			return err
+		}
+	default:
+		e.rand = newEdgeSwitcher(e)
+	}
+	return nil
 }
 
-// run executes t operations in steps of stepSize (§4.5's step protocol).
-// Each step boundary costs exactly one collective, the fused
-// stepExchange: it carries the edge counts prepareStep needs and, in
-// sanitized runs, the sparse degree-delta conservation check — a step's
-// deltas are verified by the next boundary's exchange, and the final
-// step by the full verifyBaseline pass at the end of the run.
+// run executes t operations in steps of stepSize (§4.5's step protocol;
+// for curveball a step is one global round and stepSize is 1). Each step
+// boundary costs exactly one collective, the fused stepExchange: it
+// carries the edge counts prepare needs, the global originals sum for
+// visit-rate targeting, and, in sanitized runs, the sparse degree-delta
+// conservation check — a step's deltas are verified by the next
+// boundary's exchange, and the final step by the full verifyBaseline
+// pass at the end of the run.
 func (e *rankEngine) run(t, stepSize int64) error {
 	if t == 0 {
 		return nil
@@ -343,11 +320,16 @@ func (e *rankEngine) run(t, stepSize int64) error {
 		if t-done < s {
 			s = t - done
 		}
-		counts, err := e.stepExchange()
+		counts, origs, err := e.stepExchange()
 		if err != nil {
 			return e.stepErr(step, "step exchange", err)
 		}
-		if err := e.prepareStep(s, counts); err != nil {
+		if e.targetX > 0 && VisitRate(origs, e.m) >= e.targetX {
+			// Target visit rate reached; every rank sees the same sum and
+			// breaks here together, so no step machinery is in flight.
+			break
+		}
+		if err := e.beginStep(s, counts); err != nil {
 			return e.stepErr(step, "step preparation", err)
 		}
 		if err := e.stepLoop(); err != nil {
@@ -357,6 +339,7 @@ func (e *rankEngine) run(t, stepSize int64) error {
 			return err
 		}
 		e.endStep()
+		e.stepsRun++
 	}
 	if e.sanitize {
 		return e.verifyBaseline()
@@ -372,45 +355,9 @@ func (e *rankEngine) stepErr(step int, phase string, err error) error {
 	return fmt.Errorf("core: rank %d, step %d (%s): %w", e.c.Rank(), step, phase, err)
 }
 
-// prepareStep rebuilds the selection prefix sums from the step-boundary
-// edge counts and draws this step's multinomial operation distribution.
-func (e *rankEngine) prepareStep(s int64, counts []int64) error {
-	p := e.c.Size()
-	if e.cumEdges == nil {
-		e.cumEdges = make([]int64, p+1)
-		e.qBuf = make([]float64, p)
-		e.stalled = make([]bool, p)
-	}
-	q := e.qBuf
-	var total int64
-	for i, cnt := range counts {
-		if cnt < 0 {
-			return fmt.Errorf("core: negative edge count from rank %d", i)
-		}
-		e.cumEdges[i] = total
-		total += cnt
-		q[i] = float64(cnt) / float64(e.m)
-	}
-	e.cumEdges[p] = total
-	if total != e.m {
-		return fmt.Errorf("core: edge count drifted: %d != %d", total, e.m)
-	}
-	// Guard against floating-point drift in Σq.
-	var qs float64
-	for _, v := range q {
-		qs += v
-	}
-	if qs != 1 {
-		q[p-1] += 1 - qs
-		if q[p-1] < 0 {
-			q[p-1] = 0
-		}
-	}
-	dist, err := randvar.ParallelMultinomialGathered(e.c, e.rnd, s, q)
-	if err != nil {
-		return err
-	}
-	e.remaining = dist[e.c.Rank()]
+// beginStep resets the chassis's step-boundary signalling and arms the
+// randomizer for a step of size s.
+func (e *rankEngine) beginStep(s int64, counts []int64) error {
 	e.sentEOS = false
 	e.eosOthers = 0
 	e.myStalled = false
@@ -418,7 +365,7 @@ func (e *rankEngine) prepareStep(s int64, counts []int64) error {
 		e.stalled[i] = false
 	}
 	e.stalledCount = 0
-	return nil
+	return e.rand.prepare(s, counts)
 }
 
 // broadcastCtl sends a control message (EOS/stalled/resumed) to every
@@ -436,12 +383,15 @@ func (e *rankEngine) broadcastCtl(kind msgKind) error {
 	return nil
 }
 
-// stepLoop is the per-step event loop: drain messages, drive the own
-// operation, emit/collect end-of-step signals, block when idle.
+// stepLoop is the per-step event loop: drain messages, let the
+// randomizer advance, emit/collect end-of-step signals, block when idle.
+// Everything here is algorithm-independent; the randomizer contributes
+// only progress (advance/handle) and its done/starved status.
 //
 //es:hotpath
 func (e *rankEngine) stepLoop() error {
 	p := e.c.Size()
+	r := e.rand
 	for {
 		// Drain everything already queued: self-addressed messages
 		// first (lock-free), then the mailbox in arrival order.
@@ -471,66 +421,45 @@ func (e *rankEngine) stepLoop() error {
 				}
 			}
 		}
-		// Start own operations up to the pipelining window. Filling the
-		// window before flushing is what gives the message plane several
-		// records per destination batch.
-		if int64(len(e.myOps)) < e.remaining {
-			if e.curRestarts >= restartForfeit {
-				// Structurally stuck operation (e.g. no valid switch
-				// exists anywhere for this partition's edges): abandon
-				// this single op rather than spin forever.
-				e.curRestarts = 0
-				e.forfeited++
-				e.remaining--
-				continue
+		// The drain may have delivered the work a stalled rank was
+		// waiting for; withdraw the announcement before advancing.
+		if e.myStalled && !r.starved() && !r.done() {
+			e.myStalled = false
+			if err := e.broadcastCtl(mResumed); err != nil {
+				return err
 			}
-			if e.deg.Total() > 0 {
-				if e.myStalled {
-					e.myStalled = false
-					if err := e.broadcastCtl(mResumed); err != nil {
-						return err
-					}
-				}
-				started := false
-				for w := e.opWindowSize(); len(e.myOps) < w &&
-					int64(len(e.myOps)) < e.remaining && e.deg.Total() > 0; {
-					if err := e.startOp(); err != nil {
-						return err
-					}
-					started = true
-				}
-				if started {
-					continue
-				}
-			}
-			if len(e.myOps) > 0 {
-				// In-flight operations will complete or abort and either
-				// decrement the quota or restore edges; wait below.
-			} else if !e.myStalled {
-				// Partition empty with nothing in flight: announce the
-				// stall so peers in the same state can detect global
-				// quiescence.
+		}
+		progressed, err := r.advance()
+		if err != nil {
+			return err
+		}
+		if progressed {
+			continue
+		}
+		if !r.done() && r.starved() {
+			if !e.myStalled {
+				// Starved with nothing in flight: announce the stall so
+				// peers in the same state can detect global quiescence.
 				e.myStalled = true
 				if err := e.broadcastCtl(mStalled); err != nil {
 					return err
 				}
 				continue
-			} else if e.eosOthers+e.stalledCount == p-1 {
+			}
+			if e.eosOthers+e.stalledCount == p-1 {
 				// Every peer is finished or stalled, and nothing of ours
-				// is in flight: no operation exists anywhere that could
-				// deliver us an edge, so forfeit the rest.
-				e.forfeited += e.remaining
-				e.remaining = 0
+				// is in flight: no message exists anywhere that could
+				// deliver us work, so forfeit the rest.
+				r.forfeitRemaining()
 				e.myStalled = false
 				if err := e.broadcastCtl(mResumed); err != nil {
 					return err
 				}
 				continue
 			}
-			// Otherwise wait below for edges or signals to arrive.
 		}
 		// Announce quota completion exactly once.
-		if e.remaining == 0 && len(e.myOps) == 0 && !e.sentEOS {
+		if r.done() && !e.sentEOS {
 			if err := e.broadcastCtl(mEndOfStep); err != nil {
 				return err
 			}
@@ -558,8 +487,8 @@ func (e *rankEngine) stepLoop() error {
 			return err
 		}
 		if debugTrace {
-			e.trace("blocking: myOps=%d remaining=%d deg=%d eos=%d stalled=%d myStalled=%v sentEOS=%v partnerOps=%d",
-				len(e.myOps), e.remaining, e.deg.Total(), e.eosOthers, e.stalledCount, e.myStalled, e.sentEOS, len(e.partnerOps)) // hotalloc: debug-gated trace arguments (debugTrace const)
+			e.trace("blocking: done=%v starved=%v deg=%d eos=%d stalled=%d myStalled=%v sentEOS=%v",
+				r.done(), r.starved(), e.deg.Total(), e.eosOthers, e.stalledCount, e.myStalled, e.sentEOS) // hotalloc: debug-gated trace arguments (debugTrace const)
 		}
 		m, err := e.c.Recv(mpi.AnySource, opTag)
 		if err != nil {
@@ -596,19 +525,11 @@ func (e *rankEngine) endStep() {
 // RankConflicts and RankFlushes.
 func (e *rankEngine) Stats() stepStats { return e.tot }
 
-// checkStepInvariants asserts the protocol left no dangling state.
+// checkStepInvariants asserts the step left no dangling state: the
+// randomizer's protocol is quiescent and the message plane is empty.
 func (e *rankEngine) checkStepInvariants() error {
-	if len(e.inHand) != 0 {
-		return fmt.Errorf("core: rank %d ends step with %d in-hand edges", e.c.Rank(), len(e.inHand))
-	}
-	if len(e.potential) != 0 {
-		return fmt.Errorf("core: rank %d ends step with %d reservations", e.c.Rank(), len(e.potential))
-	}
-	if len(e.partnerOps) != 0 {
-		return fmt.Errorf("core: rank %d ends step with %d partner ops", e.c.Rank(), len(e.partnerOps))
-	}
-	if len(e.myOps) != 0 || e.remaining != 0 {
-		return fmt.Errorf("core: rank %d ends step mid-operation", e.c.Rank())
+	if err := e.rand.quiesced(); err != nil {
+		return err
 	}
 	if n := e.sb.pendingBytes(); n != 0 {
 		return fmt.Errorf("core: rank %d ends step with %d unflushed batch bytes", e.c.Rank(), n)
@@ -621,78 +542,60 @@ func (e *rankEngine) checkStepInvariants() error {
 // owner returns the rank owning a normalized edge.
 func (e *rankEngine) owner(ed graph.Edge) int { return e.pt.Owner(ed.U) }
 
-// conflicts reports whether a normalized local edge exists (adjacency,
-// reservation, or provisionally removed) and, when it does, whether the
-// collision is transient — with an in-hand edge or a reservation, i.e.
-// with protocol state whose population is the sum of everyone's
-// pipelining windows — or structural (the edge is simply present in the
-// adjacency, a parallel-edge rejection that would occur at window 1
-// too). The adaptive window controller steers on transient conflicts
-// only; see internal/tune/window.
-func (e *rankEngine) conflicts(ed graph.Edge) (conflict, transient bool) {
-	if _, held := e.inHand[ed]; held {
-		return true, true
-	}
-	if _, reserved := e.potential[ed]; reserved {
-		return true, true
-	}
-	li, ok := e.index[ed.U]
-	if !ok {
-		return true, false // foreign edge: misrouted, treat as conflict
-	}
-	return e.adj[li].Contains(ed.V), false
-}
-
-// takeRandomEdge removes a uniform random local edge into inHand.
-func (e *rankEngine) takeRandomEdge() graph.Edge {
+// takeLocal removes a uniform random local edge, returning it with its
+// original flag. The fused accounting (degree Fenwick, sanitizer delta,
+// originals counter) is what makes the sanitizer and the visit-rate
+// exchange algorithm-agnostic: any randomizer that mutates storage only
+// through these helpers keeps both exact.
+func (e *rankEngine) takeLocal() (graph.Edge, bool) {
 	slot, offset := e.deg.FindByPrefix(e.rnd.Int64n(e.deg.Total()))
 	v, orig := e.adj[slot].Kth(int(offset))
 	e.adj[slot].DeleteArena(&e.arena, v)
 	e.deg.Add(slot, -1)
 	ed := graph.Edge{U: e.verts[slot], V: v}
-	e.inHand[ed] = orig
 	e.noteDegree(ed, -1)
-	return ed
+	if orig {
+		e.origLocal--
+	}
+	return ed, orig
 }
 
-// reinsert returns an in-hand edge to the local structures (abort path).
-func (e *rankEngine) reinsert(ed graph.Edge) error {
-	orig, held := e.inHand[ed]
-	if !held {
-		return fmt.Errorf("core: rank %d reinserting edge %v it does not hold", e.c.Rank(), ed)
+// insertLocal adds a normalized edge this rank owns, with the given
+// original flag, updating the fused accounting (see takeLocal).
+func (e *rankEngine) insertLocal(ed graph.Edge, orig bool) error {
+	li, ok := e.index[ed.U]
+	if !ok {
+		return fmt.Errorf("core: rank %d inserting foreign edge %v", e.c.Rank(), ed)
 	}
-	delete(e.inHand, ed)
-	li := e.index[ed.U]
 	if !e.adj[li].InsertArena(&e.arena, ed.V, orig, e.rnd.Uint32()) {
-		return fmt.Errorf("core: rank %d reinsert found duplicate %v", e.c.Rank(), ed)
+		return fmt.Errorf("core: rank %d insert found duplicate edge %v", e.c.Rank(), ed)
 	}
 	e.deg.Add(int(li), 1)
 	e.noteDegree(ed, 1)
+	if orig {
+		e.origLocal++
+	}
 	return nil
 }
 
-// discard finalizes the removal of an in-hand edge (commit path).
-func (e *rankEngine) discard(ed graph.Edge) error {
-	if _, held := e.inHand[ed]; !held {
-		return fmt.Errorf("core: rank %d discarding edge %v it does not hold", e.c.Rank(), ed)
+// drainLocal empties one owned vertex's whole adjacency in ascending
+// order, handing each (edge, original) to fn and keeping the fused
+// accounting exact — curveball's per-round bulk extraction. The removal
+// deltas cancel against the insertLocal calls that restore the traded
+// lists, so the sanitizer's conservation check holds across a round.
+func (e *rankEngine) drainLocal(li int, fn func(ed graph.Edge, orig bool)) {
+	u := e.verts[li]
+	cnt := e.adj[li].Len()
+	if cnt == 0 {
+		return
 	}
-	delete(e.inHand, ed)
-	return nil
-}
-
-// pickPartner draws a rank with probability proportional to its
-// step-start edge count (§4.4: P_j chosen with probability |E_j|/|E|).
-// After many consecutive restarts the step-start distribution is
-// evidently useless (all its mass on now-empty partitions), so the draw
-// falls back to uniform exploration over all ranks.
-func (e *rankEngine) pickPartner() int {
-	if e.curRestarts >= restartExplore {
-		return e.rnd.Intn(e.c.Size())
-	}
-	x := e.rnd.Int64n(e.cumEdges[len(e.cumEdges)-1])
-	// First rank whose cumulative range contains x.
-	idx := sort.Search(len(e.cumEdges)-1, func(i int) bool { return e.cumEdges[i+1] > x }) // hotalloc: non-escaping closure; sort.Search does not retain it, so it stays on the stack
-	return idx
+	e.origLocal -= int64(e.adj[li].Originals())
+	e.adj[li].DrainArena(&e.arena, func(v graph.Vertex, orig bool) { // hotalloc: one closure per drained vertex per round, amortized over the adjacency walk
+		ed := graph.Edge{U: u, V: v}
+		e.noteDegree(ed, -1)
+		fn(ed, orig)
+	})
+	e.deg.Add(li, int64(-cnt))
 }
 
 func (e *rankEngine) send(dst int, m opMsg) error {
@@ -706,250 +609,6 @@ func (e *rankEngine) send(dst int, m opMsg) error {
 		return e.sb.flushDst(dst)
 	}
 	return nil
-}
-
-// ---- initiator role ----
-
-// startOp begins one own operation: take e1, pick a partner, ask it to
-// orchestrate.
-func (e *rankEngine) startOp() error {
-	e.seq++
-	id := opID{rank: int32(e.c.Rank()), seq: e.seq}
-	e1 := e.takeRandomEdge()
-	e.myOps[id] = e1
-	e.st.started++
-	if n := len(e.myOps); n > e.st.inFlightHWM {
-		e.st.inFlightHWM = n
-	}
-	partner := e.pickPartner()
-	return e.send(partner, opMsg{kind: mSelectSecond, id: id, e1: e1})
-}
-
-// onOpDone finalizes a committed own operation.
-func (e *rankEngine) onOpDone(id opID) error {
-	e1, mine := e.myOps[id]
-	if !mine {
-		return fmt.Errorf("core: rank %d got %v for unknown own op", e.c.Rank(), id)
-	}
-	if err := e.discard(e1); err != nil {
-		return err
-	}
-	delete(e.myOps, id)
-	e.remaining--
-	e.opsInitiated++
-	e.st.committed++
-	e.curRestarts = 0
-	return nil
-}
-
-// onAbort restarts an own operation after rejection.
-func (e *rankEngine) onAbort(id opID) error {
-	e1, mine := e.myOps[id]
-	if !mine {
-		return fmt.Errorf("core: rank %d got abort %v for unknown own op", e.c.Rank(), id)
-	}
-	if err := e.reinsert(e1); err != nil {
-		return err
-	}
-	delete(e.myOps, id)
-	e.restarts++
-	e.curRestarts++
-	e.st.aborts++
-	return nil
-}
-
-// ---- partner role ----
-
-// onSelectSecond orchestrates an operation for initiator id.rank: select
-// e2, validate, and reserve the replacement edges at their owners.
-func (e *rankEngine) onSelectSecond(id opID, e1 graph.Edge, initiator int) error {
-	if e.deg.Total() == 0 {
-		return e.send(initiator, opMsg{kind: mAbortOp, id: id})
-	}
-	e2 := e.takeRandomEdge()
-	if switchInvalid(e1, e2) {
-		if err := e.reinsert(e2); err != nil {
-			return err
-		}
-		return e.send(initiator, opMsg{kind: mAbortOp, id: id})
-	}
-	kind := Cross
-	if e.rnd.Bool() {
-		kind = Straight
-	}
-	a, b := replacement(e1, e2, kind)
-	op := e.newPartnerOp()
-	*op = partnerOp{
-		id:        id,
-		initiator: initiator,
-		e2:        e2,
-		edges:     [2]graph.Edge{a, b},
-		owners:    [2]int{e.owner(a), e.owner(b)},
-		phase:     phaseReserving,
-	}
-	e.partnerOps[id] = op
-	for i := 0; i < 2; i++ {
-		if err := e.send(op.owners[i], opMsg{kind: mReserve, id: id, e1: op.edges[i]}); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// onReserveReply advances a partner op when an owner answers.
-func (e *rankEngine) onReserveReply(id opID, ed graph.Edge, ok bool) error {
-	op, exists := e.partnerOps[id]
-	if !exists || op.phase != phaseReserving {
-		return fmt.Errorf("core: rank %d got reserve reply for unknown %v", e.c.Rank(), id)
-	}
-	idx, err := op.edgeIndex(ed)
-	if err != nil {
-		return err
-	}
-	if op.resolved[idx] {
-		return fmt.Errorf("core: rank %d got duplicate reserve reply for %v/%v", e.c.Rank(), id, ed)
-	}
-	op.resolved[idx] = true
-	op.okay[idx] = ok
-	if !ok {
-		e.st.reserveFails++
-	}
-	if !op.resolved[0] || !op.resolved[1] {
-		return nil
-	}
-	if op.okay[0] && op.okay[1] {
-		op.phase = phaseCommitting
-		op.acksLeft = 2
-		for i := 0; i < 2; i++ {
-			if err := e.send(op.owners[i], opMsg{kind: mCommit, id: id, e1: op.edges[i]}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	// At least one conflict: release successful reservations, then abort.
-	op.phase = phaseReleasing
-	op.acksLeft = 0
-	for i := 0; i < 2; i++ {
-		if op.okay[i] {
-			op.acksLeft++
-			if err := e.send(op.owners[i], opMsg{kind: mRelease, id: id, e1: op.edges[i]}); err != nil {
-				return err
-			}
-		}
-	}
-	if op.acksLeft == 0 {
-		return e.finishAbort(op)
-	}
-	return nil
-}
-
-// onAck counts commit/release acknowledgements and finishes the op when
-// all owners have applied their updates.
-func (e *rankEngine) onAck(id opID, commit bool) error {
-	op, exists := e.partnerOps[id]
-	if !exists {
-		return fmt.Errorf("core: rank %d got ack for unknown %v", e.c.Rank(), id)
-	}
-	if (commit && op.phase != phaseCommitting) || (!commit && op.phase != phaseReleasing) {
-		return fmt.Errorf("core: rank %d got %v ack in phase %d", e.c.Rank(), id, op.phase)
-	}
-	op.acksLeft--
-	if op.acksLeft > 0 {
-		return nil
-	}
-	if commit {
-		if err := e.discard(op.e2); err != nil {
-			return err
-		}
-		delete(e.partnerOps, id)
-		initiator := op.initiator
-		e.freePartnerOp(op)
-		return e.send(initiator, opMsg{kind: mOpDone, id: id})
-	}
-	return e.finishAbort(op)
-}
-
-func (e *rankEngine) finishAbort(op *partnerOp) error {
-	if err := e.reinsert(op.e2); err != nil {
-		return err
-	}
-	delete(e.partnerOps, op.id)
-	initiator, id := op.initiator, op.id
-	e.freePartnerOp(op)
-	return e.send(initiator, opMsg{kind: mAbortOp, id: id})
-}
-
-// newPartnerOp draws a partnerOp record from the freelist; the caller
-// overwrites every field. freePartnerOp returns a record once it has
-// left partnerOps and no reference to it remains.
-func (e *rankEngine) newPartnerOp() *partnerOp {
-	if n := len(e.poFree); n > 0 {
-		op := e.poFree[n-1]
-		e.poFree[n-1] = nil
-		e.poFree = e.poFree[:n-1]
-		return op
-	}
-	return new(partnerOp) // hotalloc: freelist miss; the pool exists to make this the rare path
-}
-
-func (e *rankEngine) freePartnerOp(op *partnerOp) {
-	e.poFree = append(e.poFree, op) // hotalloc: freelist return; amortized growth of the partnerOp pool backbone
-}
-
-func (op *partnerOp) edgeIndex(ed graph.Edge) (int, error) {
-	switch ed {
-	case op.edges[0]:
-		return 0, nil
-	case op.edges[1]:
-		return 1, nil
-	default:
-		return 0, fmt.Errorf("core: edge %v not part of %v", ed, op.id)
-	}
-}
-
-// ---- owner role ----
-
-// onReserve answers a reservation request with a conflict check; a
-// successful check records the potential edge (§4.5 issue 1).
-func (e *rankEngine) onReserve(id opID, ed graph.Edge, partner int) error {
-	if conflict, transient := e.conflicts(ed); conflict {
-		if transient {
-			e.st.conflicts++
-		}
-		return e.send(partner, opMsg{kind: mReserveFail, id: id, e1: ed})
-	}
-	e.potential[ed] = id
-	return e.send(partner, opMsg{kind: mReserveOK, id: id, e1: ed})
-}
-
-// onCommit materializes a reserved edge as a modified edge.
-func (e *rankEngine) onCommit(id opID, ed graph.Edge, partner int) error {
-	holder, reserved := e.potential[ed]
-	if !reserved || holder != id {
-		return fmt.Errorf("core: rank %d commit of unreserved edge %v by %v", e.c.Rank(), ed, id)
-	}
-	delete(e.potential, ed)
-	li, ok := e.index[ed.U]
-	if !ok {
-		return fmt.Errorf("core: rank %d commit of foreign edge %v", e.c.Rank(), ed)
-	}
-	if !e.adj[li].InsertArena(&e.arena, ed.V, false, e.rnd.Uint32()) {
-		return fmt.Errorf("core: rank %d commit found duplicate edge %v", e.c.Rank(), ed)
-	}
-	e.deg.Add(int(li), 1)
-	e.noteDegree(ed, 1)
-	return e.send(partner, opMsg{kind: mCommitAck, id: id, e1: ed})
-}
-
-// onRelease drops a reservation.
-func (e *rankEngine) onRelease(id opID, ed graph.Edge, partner int) error {
-	holder, reserved := e.potential[ed]
-	if !reserved || holder != id {
-		return fmt.Errorf("core: rank %d release of unreserved edge %v by %v", e.c.Rank(), ed, id)
-	}
-	delete(e.potential, ed)
-	return e.send(partner, opMsg{kind: mReleaseAck, id: id, e1: ed})
 }
 
 // handle dispatches one mailbox payload — a batch of one or more framed
@@ -979,32 +638,13 @@ func (e *rankEngine) handle(m mpi.Message) error {
 	return nil
 }
 
-// handleMsg dispatches one protocol message from src.
+// handleMsg dispatches one message from src: the chassis consumes the
+// step-control kinds and hands everything else to the randomizer.
 func (e *rankEngine) handleMsg(om opMsg, src int) error {
 	if debugTrace {
 		e.trace("recv %v %v e=%v from %d", om.kind, om.id, om.e1, src) // hotalloc: debug-gated trace arguments (debugTrace const)
 	}
 	switch om.kind {
-	case mSelectSecond:
-		return e.onSelectSecond(om.id, om.e1, src)
-	case mAbortOp:
-		return e.onAbort(om.id)
-	case mReserve:
-		return e.onReserve(om.id, om.e1, src)
-	case mReserveOK:
-		return e.onReserveReply(om.id, om.e1, true)
-	case mReserveFail:
-		return e.onReserveReply(om.id, om.e1, false)
-	case mCommit:
-		return e.onCommit(om.id, om.e1, src)
-	case mCommitAck:
-		return e.onAck(om.id, true)
-	case mRelease:
-		return e.onRelease(om.id, om.e1, src)
-	case mReleaseAck:
-		return e.onAck(om.id, false)
-	case mOpDone:
-		return e.onOpDone(om.id)
 	case mEndOfStep:
 		e.eosOthers++
 		// A finished rank is no longer "stalled with quota".
@@ -1026,7 +666,7 @@ func (e *rankEngine) handleMsg(om opMsg, src int) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("core: rank %d cannot handle %v", e.c.Rank(), om.kind)
+		return e.rand.handle(om, src)
 	}
 }
 

@@ -10,8 +10,16 @@ import (
 	"edgeswitch/internal/rng"
 )
 
-// newTestEngine builds a single-rank engine around a small graph.
+// newTestEngine builds a single-rank edge-switch engine around a small
+// graph.
 func newTestEngine(t *testing.T, g *graph.Graph) (*rankEngine, *mpi.World) {
+	t.Helper()
+	return newTestEngineCfg(t, g, Config{Seed: 5, CheckInvariants: true})
+}
+
+// newTestEngineCfg builds a single-rank engine with an explicit config
+// (notably Config.Algorithm, for exercising the randomizer seam).
+func newTestEngineCfg(t *testing.T, g *graph.Graph, cfg Config) (*rankEngine, *mpi.World) {
 	t.Helper()
 	w, err := mpi.NewWorld(1)
 	if err != nil {
@@ -32,13 +40,23 @@ func newTestEngine(t *testing.T, g *graph.Graph) (*rankEngine, *mpi.World) {
 	var eng *rankEngine
 	err = w.Run(func(c *mpi.Comm) error {
 		var err error
-		eng, err = newRankEngine(c, pt, g.N(), g.M(), edges, Config{Seed: 5, CheckInvariants: true})
+		eng, err = newRankEngine(c, pt, g.N(), g.M(), edges, cfg)
 		return err
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return eng, w
+}
+
+// es extracts the edge-switch randomizer behind a test engine's seam.
+func es(t *testing.T, eng *rankEngine) *edgeSwitcher {
+	t.Helper()
+	r, ok := eng.rand.(*edgeSwitcher)
+	if !ok {
+		t.Fatalf("engine randomizer is %T, want *edgeSwitcher", eng.rand)
+	}
+	return r
 }
 
 func TestEngineLoadsPartition(t *testing.T) {
@@ -60,7 +78,7 @@ func TestEngineLoadsPartition(t *testing.T) {
 	}
 	// Every original edge must be present and conflict-detected.
 	for _, e := range g.Edges() {
-		conflict, transient := eng.conflicts(e)
+		conflict, transient := es(t, eng).conflicts(e)
 		if !conflict {
 			t.Fatalf("loaded edge %v not seen by conflict check", e)
 		}
@@ -79,31 +97,32 @@ func TestEngineTakeReinsertDiscard(t *testing.T) {
 	eng, w := newTestEngine(t, g)
 	defer w.Close()
 
-	e := eng.takeRandomEdge()
+	sw := es(t, eng)
+	e := sw.takeRandomEdge()
 	if eng.deg.Total() != g.M()-1 {
 		t.Fatalf("degree total after take: %d", eng.deg.Total())
 	}
-	if conflict, transient := eng.conflicts(e); !conflict || !transient {
+	if conflict, transient := es(t, eng).conflicts(e); !conflict || !transient {
 		t.Fatalf("in-hand edge: conflict=%v transient=%v, want transient conflict", conflict, transient)
 	}
-	if err := eng.reinsert(e); err != nil {
+	if err := sw.reinsert(e); err != nil {
 		t.Fatal(err)
 	}
 	if eng.deg.Total() != g.M() {
 		t.Fatalf("degree total after reinsert: %d", eng.deg.Total())
 	}
-	if err := eng.reinsert(e); err == nil {
+	if err := sw.reinsert(e); err == nil {
 		t.Fatal("double reinsert accepted")
 	}
 
-	e2 := eng.takeRandomEdge()
-	if err := eng.discard(e2); err != nil {
+	e2 := sw.takeRandomEdge()
+	if err := sw.discard(e2); err != nil {
 		t.Fatal(err)
 	}
 	if eng.deg.Total() != g.M()-1 {
 		t.Fatalf("degree total after discard: %d", eng.deg.Total())
 	}
-	if err := eng.discard(e2); err == nil {
+	if err := sw.discard(e2); err == nil {
 		t.Fatal("double discard accepted")
 	}
 }
@@ -116,12 +135,13 @@ func TestEngineTakePreservesOriginalFlag(t *testing.T) {
 	eng, w := newTestEngine(t, g)
 	defer w.Close()
 	// Take both, reinsert both; flags must survive the round trip.
-	a := eng.takeRandomEdge()
-	b := eng.takeRandomEdge()
-	if err := eng.reinsert(a); err != nil {
+	r2 := es(t, eng)
+	a := r2.takeRandomEdge()
+	b := r2.takeRandomEdge()
+	if err := r2.reinsert(a); err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.reinsert(b); err != nil {
+	if err := r2.reinsert(b); err != nil {
 		t.Fatal(err)
 	}
 	li01 := eng.index[0]
@@ -154,11 +174,12 @@ func TestEngineConflictsChecksPotential(t *testing.T) {
 	if candidate == (graph.Edge{}) {
 		t.Skip("graph too dense for a candidate")
 	}
-	if conflict, _ := eng.conflicts(candidate); conflict {
+	rs := es(t, eng)
+	if conflict, _ := rs.conflicts(candidate); conflict {
 		t.Fatal("fresh edge conflicts")
 	}
-	eng.potential[candidate] = opID{rank: 0, seq: 1}
-	if conflict, transient := eng.conflicts(candidate); !conflict || !transient {
+	rs.potential[candidate] = opID{rank: 0, seq: 1}
+	if conflict, transient := rs.conflicts(candidate); !conflict || !transient {
 		t.Fatalf("reserved edge: conflict=%v transient=%v, want transient conflict", conflict, transient)
 	}
 }
@@ -172,10 +193,11 @@ func TestEnginePickPartnerRespectsWeights(t *testing.T) {
 	eng, w := newTestEngine(t, g)
 	defer w.Close()
 	// Fake a 3-rank cumulative edge distribution 10/0/30.
-	eng.cumEdges = []int64{0, 10, 10, 40}
+	rp := es(t, eng)
+	rp.cumEdges = []int64{0, 10, 10, 40}
 	counts := [3]int{}
 	for i := 0; i < 40000; i++ {
-		counts[eng.pickPartner()]++
+		counts[rp.pickPartner()]++
 	}
 	if counts[1] != 0 {
 		t.Fatalf("empty rank selected %d times", counts[1])

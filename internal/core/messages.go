@@ -14,6 +14,12 @@ import (
 // edges. All owner-directed mutations are acknowledged so that when an
 // initiator's operation completes, every remote update it caused has been
 // applied — the property that makes the end-of-step barrier sound.
+//
+// The curveball randomizer adds two payload kinds to the same plane:
+// mTradeEdge routes an adjacency entry to the rank orchestrating the
+// trade it participates in, and mStoreEdge hands a settled edge to its
+// owner. Both ride the identical batch framing and tag; the chassis
+// dispatches them through the randomizer seam like any protocol message.
 
 // opTag is the single application tag used by engine traffic; message
 // kinds are distinguished in the payload.
@@ -58,6 +64,16 @@ const (
 	// edges); realistic partitions never empty.
 	mStalled
 	mResumed
+	// mTradeEdge: edge holder → trade orchestrator (curveball). Carries
+	// one adjacency entry of a traded vertex: trade is the global trade
+	// index this round, e1.U the entry's anchor (the traded vertex it
+	// belongs to), e1.V the other endpoint — NOT normalized — and orig
+	// the original flag.
+	mTradeEdge
+	// mStoreEdge: anyone → edge owner (curveball). Carries one settled
+	// normalized edge (e1) with its original flag for insertion into the
+	// owner's partition.
+	mStoreEdge
 )
 
 func (k msgKind) String() string {
@@ -88,6 +104,10 @@ func (k msgKind) String() string {
 		return "stalled"
 	case mResumed:
 		return "resumed"
+	case mTradeEdge:
+		return "tradeEdge"
+	case mStoreEdge:
+		return "storeEdge"
 	default:
 		return fmt.Sprintf("msgKind(%d)", uint8(k))
 	}
@@ -105,43 +125,87 @@ func (id opID) String() string { return fmt.Sprintf("op[%d:%d]", id.rank, id.seq
 // opMsg is the decoded form of every protocol message. Unused fields are
 // zero.
 type opMsg struct {
-	kind msgKind
-	id   opID
-	e1   graph.Edge // mSelectSecond: first edge; owner messages: target edge
+	kind  msgKind
+	id    opID       // conversation kinds: operation id
+	e1    graph.Edge // mSelectSecond: first edge; owner messages: target edge; curveball: payload edge
+	trade int32      // mTradeEdge: global trade index this round
+	orig  bool       // curveball kinds: the edge's original flag
 }
 
-const opMsgLen = 1 + 4 + 8 + 16
+// Per-kind wire lengths. The conversation kinds keep the original fixed
+// 29-byte record; the curveball kinds are shorter — they carry no opID,
+// and at fan-out of one record per adjacency entry per round the framing
+// is the dominant communication cost.
+const (
+	opMsgLen    = 1 + 4 + 8 + 16 // kind | rank | seq | e1 (+8 reserved)
+	tradeMsgLen = 1 + 4 + 4 + 4 + 1
+	storeMsgLen = 1 + 4 + 4 + 1
+)
+
+// wireLen returns the record length for the message's kind.
+func (m opMsg) wireLen() int {
+	switch m.kind {
+	case mTradeEdge:
+		return tradeMsgLen
+	case mStoreEdge:
+		return storeMsgLen
+	default:
+		return opMsgLen
+	}
+}
 
 // encode serializes the message into a fresh buffer.
 func (m opMsg) encode() []byte {
-	buf := make([]byte, opMsgLen)
+	buf := make([]byte, m.wireLen())
 	m.encodeInto(buf)
 	return buf
 }
 
-// encodeInto serializes the message into buf, which must hold opMsgLen
-// bytes.
-func (m opMsg) encodeInto(buf []byte) {
+// encodeInto serializes the message into buf, which must hold wireLen()
+// bytes, and returns the record length.
+func (m opMsg) encodeInto(buf []byte) int {
 	buf[0] = byte(m.kind)
-	binary.LittleEndian.PutUint32(buf[1:], uint32(m.id.rank))
-	binary.LittleEndian.PutUint64(buf[5:], m.id.seq)
-	binary.LittleEndian.PutUint32(buf[13:], uint32(m.e1.U))
-	binary.LittleEndian.PutUint32(buf[17:], uint32(m.e1.V))
-	// Bytes 21..28 are reserved (kept for layout stability).
+	switch m.kind {
+	case mTradeEdge:
+		binary.LittleEndian.PutUint32(buf[1:], uint32(m.trade))
+		binary.LittleEndian.PutUint32(buf[5:], uint32(m.e1.U))
+		binary.LittleEndian.PutUint32(buf[9:], uint32(m.e1.V))
+		buf[13] = boolByte(m.orig)
+		return tradeMsgLen
+	case mStoreEdge:
+		binary.LittleEndian.PutUint32(buf[1:], uint32(m.e1.U))
+		binary.LittleEndian.PutUint32(buf[5:], uint32(m.e1.V))
+		buf[9] = boolByte(m.orig)
+		return storeMsgLen
+	default:
+		binary.LittleEndian.PutUint32(buf[1:], uint32(m.id.rank))
+		binary.LittleEndian.PutUint64(buf[5:], m.id.seq)
+		binary.LittleEndian.PutUint32(buf[13:], uint32(m.e1.U))
+		binary.LittleEndian.PutUint32(buf[17:], uint32(m.e1.V))
+		// Bytes 21..28 are reserved (kept for layout stability).
+		return opMsgLen
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Batch framing (the message plane, see DESIGN.md): a transport payload
 // carries one or more protocol messages, each as a length-prefixed
-// record `len uint8 | record`. Every record is currently opMsgLen bytes;
-// the prefix keeps the frame self-describing so record layouts can grow
+// record `len uint8 | record`. Record layouts are per-kind (wireLen);
+// the prefix keeps the frame self-describing so layouts can grow
 // without a flag day.
 
 // appendOpMsg appends one framed record to a batch buffer.
 func appendOpMsg(buf []byte, m opMsg) []byte {
 	var rec [opMsgLen]byte
-	m.encodeInto(rec[:])
-	buf = append(buf, byte(opMsgLen)) // hotalloc: amortized; batch buffers come presized from the freelist
-	return append(buf, rec[:]...)     // hotalloc: amortized; batch buffers come presized from the freelist
+	n := m.encodeInto(rec[:])
+	buf = append(buf, byte(n))     // hotalloc: amortized; batch buffers come presized from the freelist
+	return append(buf, rec[:n]...) // hotalloc: amortized; batch buffers come presized from the freelist
 }
 
 // forEachOpMsg decodes a batch payload record by record, stopping at the
@@ -165,24 +229,55 @@ func forEachOpMsg(data []byte, fn func(opMsg) error) error {
 	return nil
 }
 
-// decodeOpMsg parses an engine payload.
+// decodeOpMsg parses one engine record, validating the kind-specific
+// length.
 func decodeOpMsg(data []byte) (opMsg, error) {
-	if len(data) != opMsgLen {
-		return opMsg{}, fmt.Errorf("core: bad op message length %d", len(data))
+	if len(data) == 0 {
+		return opMsg{}, fmt.Errorf("core: empty op message")
 	}
-	m := opMsg{
-		kind: msgKind(data[0]),
-		id: opID{
-			rank: int32(binary.LittleEndian.Uint32(data[1:])),
-			seq:  binary.LittleEndian.Uint64(data[5:]),
-		},
-		e1: graph.Edge{
-			U: graph.Vertex(binary.LittleEndian.Uint32(data[13:])),
-			V: graph.Vertex(binary.LittleEndian.Uint32(data[17:])),
-		},
-	}
-	if m.kind < mSelectSecond || m.kind > mResumed {
+	kind := msgKind(data[0])
+	switch {
+	case kind == mTradeEdge:
+		if len(data) != tradeMsgLen {
+			return opMsg{}, fmt.Errorf("core: bad op message length %d", len(data))
+		}
+		return opMsg{
+			kind:  kind,
+			trade: int32(binary.LittleEndian.Uint32(data[1:])),
+			e1: graph.Edge{
+				U: graph.Vertex(binary.LittleEndian.Uint32(data[5:])),
+				V: graph.Vertex(binary.LittleEndian.Uint32(data[9:])),
+			},
+			orig: data[13] != 0,
+		}, nil
+	case kind == mStoreEdge:
+		if len(data) != storeMsgLen {
+			return opMsg{}, fmt.Errorf("core: bad op message length %d", len(data))
+		}
+		return opMsg{
+			kind: kind,
+			e1: graph.Edge{
+				U: graph.Vertex(binary.LittleEndian.Uint32(data[1:])),
+				V: graph.Vertex(binary.LittleEndian.Uint32(data[5:])),
+			},
+			orig: data[9] != 0,
+		}, nil
+	case kind >= mSelectSecond && kind <= mResumed:
+		if len(data) != opMsgLen {
+			return opMsg{}, fmt.Errorf("core: bad op message length %d", len(data))
+		}
+		return opMsg{
+			kind: kind,
+			id: opID{
+				rank: int32(binary.LittleEndian.Uint32(data[1:])),
+				seq:  binary.LittleEndian.Uint64(data[5:]),
+			},
+			e1: graph.Edge{
+				U: graph.Vertex(binary.LittleEndian.Uint32(data[13:])),
+				V: graph.Vertex(binary.LittleEndian.Uint32(data[17:])),
+			},
+		}, nil
+	default:
 		return opMsg{}, fmt.Errorf("core: unknown message kind %d", data[0])
 	}
-	return m, nil
 }

@@ -22,6 +22,10 @@ func TestOpMsgRoundTrip(t *testing.T) {
 		{kind: mEndOfStep},
 		{kind: mStalled},
 		{kind: mResumed},
+		{kind: mTradeEdge, trade: 41, e1: graph.Edge{U: 9, V: 3}, orig: true},
+		{kind: mTradeEdge, trade: 0, e1: graph.Edge{U: 3, V: 9}},
+		{kind: mStoreEdge, e1: graph.Edge{U: 2, V: 1000000}, orig: true},
+		{kind: mStoreEdge, e1: graph.Edge{U: 0, V: 1}},
 	}
 	for _, m := range msgs {
 		got, err := decodeOpMsg(m.encode())
@@ -58,14 +62,21 @@ func TestDecodeOpMsgRejectsBadInput(t *testing.T) {
 	if _, err := decodeOpMsg(bad); err == nil {
 		t.Fatal("kind 0 accepted")
 	}
-	bad[0] = byte(mResumed) + 1
+	bad[0] = 255
 	if _, err := decodeOpMsg(bad); err == nil {
 		t.Fatal("kind out of range accepted")
+	}
+	// Curveball kinds validate their own (shorter) record lengths.
+	if _, err := decodeOpMsg(append(opMsg{kind: mTradeEdge}.encode(), 0)); err == nil {
+		t.Fatal("oversized trade record accepted")
+	}
+	if _, err := decodeOpMsg(opMsg{kind: mStoreEdge}.encode()[:storeMsgLen-1]); err == nil {
+		t.Fatal("truncated store record accepted")
 	}
 }
 
 func TestMsgKindStrings(t *testing.T) {
-	for k := mSelectSecond; k <= mResumed; k++ {
+	for k := mSelectSecond; k <= mStoreEdge; k++ {
 		if s := k.String(); s == "" || s[0] == 'm' && len(s) < 3 {
 			t.Fatalf("kind %d has bad name %q", k, s)
 		}

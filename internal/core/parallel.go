@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"edgeswitch/internal/clock"
@@ -26,10 +27,26 @@ const (
 // Schemes lists all partitioning schemes in presentation order.
 func Schemes() []Scheme { return []Scheme{SchemeCP, SchemeHPD, SchemeHPM, SchemeHPU} }
 
-// Config parameterises a parallel edge-switch run.
+// Config parameterises a parallel randomization run.
 type Config struct {
 	// Ranks is the number of processors p (goroutine ranks). Must be >= 1.
 	Ranks int
+	// Algorithm selects the randomization process run behind the
+	// Randomizer seam (see randomizer.go): AlgoEdgeSwitch (the default,
+	// also selected by "") runs the paper's conversation protocol where t
+	// counts switch operations; AlgoCurveball runs global curveball
+	// trades where t counts global rounds and StepSize is ignored (every
+	// step is exactly one round).
+	Algorithm Algorithm
+	// TargetVisitRate, when > 0, stops the run at the first step boundary
+	// where the observed global visit rate (computed from the originals
+	// count fused into the step exchange, identically on every rank)
+	// reaches the target; t then acts as a ceiling. Useful with
+	// AlgoCurveball, whose per-round visit rate is bounded conservatively
+	// (see CurveballRoundsForVisitRate), so runs end as soon as the
+	// target is actually met instead of completing the worst-case round
+	// count. Must lie in [0, 1]; 0 disables the early stop.
+	TargetVisitRate float64
 	// Scheme selects the partitioning scheme. Default SchemeCP.
 	Scheme Scheme
 	// StepSize is the number of operations per step (§4.5); operations
@@ -95,7 +112,10 @@ type Result struct {
 	// Graph is the switched graph, reassembled on rank 0 (nil with
 	// Config.SkipResult).
 	Graph *graph.Graph
-	// Ops is the number of completed switch operations (== t − Forfeited).
+	// Algorithm echoes the randomization algorithm that ran.
+	Algorithm string
+	// Ops is the number of completed operations: switches for
+	// edge-switching (== t − Forfeited), executed trades for curveball.
 	Ops int64
 	// Restarts counts rejected selections across all ranks.
 	Restarts int64
@@ -103,9 +123,13 @@ type Result struct {
 	// ran out of edges with no active peers left to replenish it (only
 	// reachable on degenerate tiny inputs; see DESIGN.md).
 	Forfeited int64
-	// Steps is the number of steps executed.
+	// Steps is the number of steps executed (curveball: rounds). A
+	// Config.TargetVisitRate early stop can make this smaller than
+	// ⌈t/StepSize⌉.
 	Steps int
-	// VisitRate is the observed visit rate (0 with SkipResult).
+	// VisitRate is the observed visit rate, computed from the per-rank
+	// originals counters the engines maintain — populated even with
+	// SkipResult, where no graph is reassembled to count from.
 	VisitRate float64
 	// RankOps[i] is the number of operations initiated by rank i (the
 	// workload of Figs. 19–21).
@@ -211,6 +235,12 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 	if t < 0 {
 		return nil, fmt.Errorf("core: negative operation count %d", t)
 	}
+	if _, err := cfg.algorithm(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(cfg.TargetVisitRate) || cfg.TargetVisitRate < 0 || cfg.TargetVisitRate > 1 {
+		return nil, fmt.Errorf("core: TargetVisitRate %v outside [0, 1]", cfg.TargetVisitRate)
+	}
 	if cfg.DistributedGen != nil {
 		if g != nil {
 			return nil, fmt.Errorf("core: RunRank with Config.DistributedGen takes a nil graph (ranks generate their own partitions)")
@@ -261,8 +291,17 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Graph) *Baseline) (*Result, error) {
 	c, pt := eng.c, eng.pt
 	p := c.Size()
+	algo, err := cfg.algorithm()
+	if err != nil {
+		return nil, err
+	}
 	stepSize := cfg.StepSize
-	if stepSize <= 0 || stepSize > t {
+	if algo == AlgoCurveball {
+		// A curveball step is one global round by construction: the round
+		// boundary is where the pairing permutation changes and every
+		// adjacency has settled, so larger step sizes have no meaning.
+		stepSize = 1
+	} else if stepSize <= 0 || stepSize > t {
 		stepSize = t
 	}
 	start := clock.Now()
@@ -275,15 +314,18 @@ func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Gr
 	es := eng.Stats()
 	stats := []int64{eng.opsInitiated, eng.restarts, eng.forfeited,
 		int64(len(eng.verts)), eng.initialEdges, eng.deg.Total(), eng.msgsSent,
-		int64(eng.winMax), es.conflicts + es.reserveFails, es.flushes}
+		int64(eng.winMax), es.conflicts + es.reserveFails, es.flushes,
+		eng.origLocal}
 	gathered, err := c.Gather(0, mpi.Int64sToBytes(stats))
 	if err != nil {
 		return nil, err
 	}
 	var res *Result
+	var origSum int64
 	if c.Rank() == 0 {
 		res = &Result{
 			SchemeName:       pt.Name(),
+			Algorithm:        string(algo),
 			Elapsed:          elapsed,
 			RankOps:          make([]int64, p),
 			RankRestarts:     make([]int64, p),
@@ -310,12 +352,12 @@ func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Gr
 			res.RankWindowMax[rank] = vs[7]
 			res.RankConflicts[rank] = vs[8]
 			res.RankFlushes[rank] = vs[9]
+			origSum += vs[10]
 			res.Ops += vs[0]
 			res.Restarts += vs[1]
 		}
-		if t > 0 {
-			res.Steps = int((t + stepSize - 1) / stepSize)
-		}
+		res.Steps = int(eng.stepsRun)
+		res.VisitRate = VisitRate(origSum, eng.m)
 	}
 	if cfg.SkipResult {
 		return res, nil
@@ -349,6 +391,9 @@ func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Gr
 	if cfg.CheckInvariants {
 		if vs := SanitizeGraph(out, baseline(out)); len(vs) > 0 {
 			return nil, fmt.Errorf("core: reassembled graph fails invariant sanitizer: %s", summarize(vs))
+		}
+		if int64(out.Originals()) != origSum {
+			return nil, fmt.Errorf("core: reassembled originals %d disagree with engine counters %d", out.Originals(), origSum)
 		}
 	}
 	res.Graph = out

@@ -199,14 +199,15 @@ func TestEngineSanitizerDetectsDroppedEdge(t *testing.T) {
 	if err := eng.recordBaseline(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.stepExchange(); err != nil {
+	if _, _, err := eng.stepExchange(); err != nil {
 		t.Fatalf("clean engine flagged: %v", err)
 	}
-	e := eng.takeRandomEdge()
-	if err := eng.discard(e); err != nil {
+	sw := es(t, eng)
+	e := sw.takeRandomEdge()
+	if err := sw.discard(e); err != nil {
 		t.Fatal(err)
 	}
-	_, err = eng.stepExchange()
+	_, _, err = eng.stepExchange()
 	if err == nil {
 		t.Fatal("dropped edge not detected by the step exchange")
 	}
@@ -239,18 +240,22 @@ func TestEngineSanitizerCleanAfterSwitches(t *testing.T) {
 	if err := eng.recordBaseline(); err != nil {
 		t.Fatal(err)
 	}
+	sw := es(t, eng)
 	for i := 0; i < 10; i++ {
-		e := eng.takeRandomEdge()
-		if err := eng.reinsert(e); err != nil {
+		e := sw.takeRandomEdge()
+		if err := sw.reinsert(e); err != nil {
 			t.Fatal(err)
 		}
 	}
-	counts, err := eng.stepExchange()
+	counts, origs, err := eng.stepExchange()
 	if err != nil {
 		t.Fatalf("round-tripped engine flagged: %v", err)
 	}
 	if len(counts) != 1 || counts[0] != g.M() {
 		t.Fatalf("step exchange counts %v, want [%d]", counts, g.M())
+	}
+	if origs != g.M() {
+		t.Fatalf("step exchange originals %d, want %d", origs, g.M())
 	}
 	if err := eng.verifyBaseline(); err != nil {
 		t.Fatalf("round-tripped engine flagged by full pass: %v", err)

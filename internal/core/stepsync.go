@@ -10,17 +10,25 @@ import (
 
 // The fused step-boundary exchange: every step boundary needs the
 // per-rank edge counts (to rebuild the partner-selection prefix sums),
-// and sanitized runs additionally need a degree-conservation check.
-// Those used to be two collectives — an allgather of counts plus a full
-// O(n) degree-vector allreduce — the second of which dominated checked
-// runs on large vertex sets. They are now one allgather whose payload
-// carries the edge count and a sparse delta vector: only the vertices
-// whose local degree changed since the previous exchange, O(ops)
-// entries instead of O(n). A valid switch moves degree between ranks
-// but never creates or destroys it, so the deltas must cancel exactly
-// when summed across ranks.
+// the global count of edges still flagged original (for the exact visit
+// rate that drives Config.TargetVisitRate and Result.VisitRate), and —
+// in sanitized runs — a degree-conservation check. Those used to be
+// separate collectives, the last a full O(n) degree-vector allreduce
+// that dominated checked runs on large vertex sets. They are now one
+// allgather whose payload carries the edge count, the local originals
+// count, and a sparse delta vector: only the vertices whose local degree
+// changed since the previous exchange, O(ops) entries instead of O(n). A
+// valid randomization move relocates degree between ranks but never
+// creates or destroys it — edge switches move two endpoints, curveball
+// trades reassign whole adjacency entries between the paired vertices —
+// so the deltas must cancel exactly when summed across ranks. This is
+// what makes the check algorithm-agnostic: it asserts conservation of
+// the degree sequence, not any particular mutation shape, and every
+// randomizer feeds it through the same takeLocal/insertLocal/drainLocal
+// accounting.
 //
-// Payload layout: edges int64 | k uint32 | k × (vertex uint32, delta int32).
+// Payload layout:
+// edges int64 | originals int64 | k uint32 | k × (vertex uint32, delta int32).
 // Deltas are sorted by vertex so the payload is deterministic.
 
 // noteDegree accumulates a local degree change of d on both endpoints
@@ -34,30 +42,32 @@ func (e *rankEngine) noteDegree(ed graph.Edge, d int32) {
 }
 
 // stepExchange is the single collective a step boundary costs. It
-// returns the per-rank edge counts for prepareStep. In sanitized runs
-// it also runs the local structural scan and verifies that the gathered
+// returns the per-rank edge counts for the randomizer's prepare and the
+// global number of edges still flagged original. In sanitized runs it
+// also runs the local structural scan and verifies that the gathered
 // degree deltas cancel; any violation is reported with the same
 // actionable formatting as the full sanitizer. Deltas for the final
 // step are covered by verifyBaseline at the end of the run.
-func (e *rankEngine) stepExchange() ([]int64, error) {
+func (e *rankEngine) stepExchange() ([]int64, int64, error) {
 	parts, err := e.c.Allgather(e.encodeStepLocal())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var vg violations
 	if e.sanitize {
 		vg.list = e.sanitizeLocal()
 	}
 	counts := make([]int64, len(parts))
-	var total int64
+	var total, origs int64
 	drift := make(map[graph.Vertex]int64)
 	for rank, pb := range parts {
-		cnt, deltas, err := decodeStepLocal(pb)
+		cnt, org, deltas, err := decodeStepLocal(pb)
 		if err != nil {
-			return nil, fmt.Errorf("core: rank %d step exchange: bad payload from rank %d: %w", e.c.Rank(), rank, err)
+			return nil, 0, fmt.Errorf("core: rank %d step exchange: bad payload from rank %d: %w", e.c.Rank(), rank, err)
 		}
 		counts[rank] = cnt
 		total += cnt
+		origs += org
 		for _, d := range deltas {
 			drift[d.v] += int64(d.d)
 		}
@@ -66,7 +76,7 @@ func (e *rankEngine) stepExchange() ([]int64, error) {
 		if e.sanitize {
 			vg.addf(VEdgeCount, "edge count %d != invariant %d: a switch lost or invented an edge", total, e.m)
 		} else {
-			return nil, fmt.Errorf("core: edge count drifted: %d != %d", total, e.m)
+			return nil, 0, fmt.Errorf("core: edge count drifted: %d != %d", total, e.m)
 		}
 	}
 	if len(drift) > 0 {
@@ -82,16 +92,17 @@ func (e *rankEngine) stepExchange() ([]int64, error) {
 		}
 	}
 	if len(vg.list) > 0 {
-		return nil, fmt.Errorf("core: rank %d invariant sanitizer: %s", e.c.Rank(), summarize(vg.list))
+		return nil, 0, fmt.Errorf("core: rank %d invariant sanitizer: %s", e.c.Rank(), summarize(vg.list))
 	}
 	if e.sanitize {
 		clear(e.degDelta)
 	}
-	return counts, nil
+	return counts, origs, nil
 }
 
 // encodeStepLocal serializes this rank's contribution to the exchange:
-// its edge count plus every accumulated nonzero degree delta.
+// its edge count, its originals count, and every accumulated nonzero
+// degree delta.
 func (e *rankEngine) encodeStepLocal() []byte {
 	touched := make([]graph.Vertex, 0, len(e.degDelta))
 	for v, d := range e.degDelta {
@@ -100,10 +111,11 @@ func (e *rankEngine) encodeStepLocal() []byte {
 		}
 	}
 	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
-	buf := make([]byte, 12+8*len(touched))
+	buf := make([]byte, 20+8*len(touched))
 	binary.LittleEndian.PutUint64(buf[0:], uint64(e.deg.Total()))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(len(touched)))
-	off := 12
+	binary.LittleEndian.PutUint64(buf[8:], uint64(e.origLocal))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(touched)))
+	off := 20
 	for _, v := range touched {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
 		binary.LittleEndian.PutUint32(buf[off+4:], uint32(e.degDelta[v]))
@@ -118,25 +130,26 @@ type vertexDelta struct {
 	d int32
 }
 
-func decodeStepLocal(pb []byte) (int64, []vertexDelta, error) {
-	if len(pb) < 12 {
-		return 0, nil, fmt.Errorf("truncated step payload (%d bytes)", len(pb))
+func decodeStepLocal(pb []byte) (int64, int64, []vertexDelta, error) {
+	if len(pb) < 20 {
+		return 0, 0, nil, fmt.Errorf("truncated step payload (%d bytes)", len(pb))
 	}
 	cnt := int64(binary.LittleEndian.Uint64(pb[0:]))
-	k := int(binary.LittleEndian.Uint32(pb[8:]))
-	if len(pb) != 12+8*k {
-		return 0, nil, fmt.Errorf("step payload length %d does not match %d deltas", len(pb), k)
+	origs := int64(binary.LittleEndian.Uint64(pb[8:]))
+	k := int(binary.LittleEndian.Uint32(pb[16:]))
+	if len(pb) != 20+8*k {
+		return 0, 0, nil, fmt.Errorf("step payload length %d does not match %d deltas", len(pb), k)
 	}
 	if k == 0 {
-		return cnt, nil, nil
+		return cnt, origs, nil, nil
 	}
 	deltas := make([]vertexDelta, k)
 	for i := range deltas {
-		off := 12 + 8*i
+		off := 20 + 8*i
 		deltas[i] = vertexDelta{
 			v: graph.Vertex(binary.LittleEndian.Uint32(pb[off:])),
 			d: int32(binary.LittleEndian.Uint32(pb[off+4:])),
 		}
 	}
-	return cnt, deltas, nil
+	return cnt, origs, deltas, nil
 }

@@ -70,3 +70,57 @@ func VisitRate(originalsRemaining, m0 int64) float64 {
 	}
 	return 1 - float64(originalsRemaining)/float64(m0)
 }
+
+// CurveballRoundVisitRate is the conservative per-round lower bound q on
+// the fraction of surviving original edges a global curveball round
+// modifies. Each round pairs every vertex, and an edge {u, v} survives
+// as an original only if it is shared with (or is the pair edge of) both
+// endpoints' trades or wins the uniform redistribution on both sides;
+// empirically a round modifies well over half of the surviving originals
+// on the generator matrix, but the bound is kept deliberately low so the
+// round count from CurveballRoundsForVisitRate overshoots and the
+// Config.TargetVisitRate early stop — not the ceiling — ends the run.
+const CurveballRoundVisitRate = 0.25
+
+// CurveballRoundsForVisitRate converts a target visit rate into a global
+// curveball round count: the smallest R with 1 − (1−q)^R ≥ x under the
+// conservative per-round rate q = CurveballRoundVisitRate. Because q
+// undershoots the real per-round rate, R is a ceiling; pair it with
+// Config.TargetVisitRate so the run stops at the boundary where x is
+// actually reached. For x = 1 the geometric model never terminates
+// exactly, so the target is taken as "at most one surviving original".
+func CurveballRoundsForVisitRate(m int64, x float64) (int64, error) {
+	if m < 0 {
+		return 0, fmt.Errorf("core: negative edge count %d", m)
+	}
+	if x < 0 || x > 1 || math.IsNaN(x) {
+		return 0, fmt.Errorf("core: visit rate %v out of [0,1]", x)
+	}
+	if m == 0 || x == 0 {
+		return 0, nil
+	}
+	remaining := math.Round(float64(m) * (1 - x))
+	if remaining < 1 {
+		remaining = 1
+	}
+	r := math.Ceil(math.Log(remaining/float64(m)) / math.Log(1-CurveballRoundVisitRate))
+	if r < 1 {
+		r = 1
+	}
+	return int64(r), nil
+}
+
+// OpsForVisitRateAlgo converts a target visit rate into the operation
+// count t for the given algorithm: switch operations for edge-switching
+// (OpsForVisitRate), global rounds for curveball
+// (CurveballRoundsForVisitRate).
+func OpsForVisitRateAlgo(algo Algorithm, m int64, x float64) (int64, error) {
+	switch algo {
+	case AlgoCurveball:
+		return CurveballRoundsForVisitRate(m, x)
+	case AlgoEdgeSwitch, "":
+		return OpsForVisitRate(m, x)
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+}

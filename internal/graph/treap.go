@@ -314,6 +314,30 @@ func (s *AdjSet) DeleteArena(a *NodeArena, v Vertex) (found, original bool) {
 	return found, original
 }
 
+// DrainArena empties the set, invoking fn for each entry in ascending
+// key order and returning every node to a (nil leaves them to the GC).
+// This is the curveball engine's per-round bulk extraction: visiting and
+// recycling each node once costs O(d) where d repeated DeleteArena
+// descents would cost O(d log d).
+func (s *AdjSet) DrainArena(a *NodeArena, fn func(v Vertex, original bool)) {
+	var walk func(n *treapNode)
+	walk = func(n *treapNode) { // hotalloc: recursive helper needs the self-reference; one closure per drain, amortized over the node walk
+		if n == nil {
+			return
+		}
+		// a.put clobbers the node (it threads the free list through left),
+		// so capture the children first.
+		l, r := n.left, n.right
+		walk(l)
+		fn(n.key, n.original)
+		a.put(n)
+		walk(r)
+	}
+	walk(s.root)
+	s.root = nil
+	s.origs = 0
+}
+
 // merge joins two treaps where every key in l precedes every key in r.
 func merge(l, r *treapNode) *treapNode {
 	switch {

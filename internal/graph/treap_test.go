@@ -282,3 +282,56 @@ func TestBuildSortedPanicsOnUnsortedOrNonEmpty(t *testing.T) {
 		s.BuildSorted(nil, []Vertex{2}, []uint32{1}, true)
 	})
 }
+
+// TestAdjSetDrainArena checks the bulk-drain primitive the curveball
+// randomizer uses at every round start: entries arrive in ascending key
+// order with their original flags, the set ends empty, and every node is
+// returned to the arena free list for the round's re-inserts.
+func TestAdjSetDrainArena(t *testing.T) {
+	var s AdjSet
+	var arena NodeArena
+	r := rng.New(13)
+	want := map[Vertex]bool{}
+	for len(want) < 60 {
+		v := Vertex(r.Intn(500))
+		if _, ok := want[v]; ok {
+			continue
+		}
+		orig := r.Bool()
+		want[v] = orig
+		s.InsertArena(&arena, v, orig, r.Uint32())
+	}
+
+	var keys []Vertex
+	got := map[Vertex]bool{}
+	s.DrainArena(&arena, func(v Vertex, orig bool) {
+		keys = append(keys, v)
+		got[v] = orig
+	})
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("drain not in key order: %v", keys)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d entries, want %d", len(got), len(want))
+	}
+	for v, orig := range want {
+		if g, ok := got[v]; !ok || g != orig {
+			t.Fatalf("entry %d: got (%v, %v), want (true, %v)", v, ok, g, orig)
+		}
+	}
+	if s.Len() != 0 || s.Originals() != 0 {
+		t.Fatalf("set not empty after drain: len %d, originals %d", s.Len(), s.Originals())
+	}
+
+	// Every drained node must be back on the free list.
+	freed := 0
+	for n := arena.free; n != nil; n = n.left {
+		freed++
+	}
+	if freed != len(want) {
+		t.Fatalf("free list holds %d nodes, want %d", freed, len(want))
+	}
+
+	// An empty set drains as a no-op.
+	s.DrainArena(&arena, func(Vertex, bool) { t.Fatal("callback on empty set") })
+}

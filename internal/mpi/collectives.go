@@ -331,6 +331,52 @@ func (c *Comm) AllreduceInt64s(xs []int64, op ReduceOp) ([]int64, error) {
 	return allreduceButterfly(c, xs, op, Int64sToBytes, BytesToInt64s, reduceInt64)
 }
 
+func reduceUint32(op ReduceOp, a, b uint32) uint32 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		if b > a {
+			return b
+		}
+		return a
+	}
+}
+
+// Uint32sToBytes encodes a little-endian uint32 slice.
+func Uint32sToBytes(xs []uint32) []byte {
+	out := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(out[4*i:], x)
+	}
+	return out
+}
+
+// BytesToUint32s decodes Uint32sToBytes output.
+func BytesToUint32s(b []byte) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("mpi: uint32 payload length %d not a multiple of 4", len(b))
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+// AllreduceUint32s reduces and distributes the result to all ranks
+// (butterfly, O(log p) rounds). The element width matters at vertex
+// scale: the curveball engine's one-time global degree bootstrap reduces
+// an n-element vector, and uint32 halves that payload relative to int64.
+func (c *Comm) AllreduceUint32s(xs []uint32, op ReduceOp) ([]uint32, error) {
+	return allreduceButterfly(c, xs, op, Uint32sToBytes, BytesToUint32s, reduceUint32)
+}
+
 // allreduceInt64sViaGather is the O(p) gather+broadcast baseline, kept
 // for cross-validation of the butterfly implementation.
 func (c *Comm) allreduceInt64sViaGather(xs []int64, op ReduceOp) ([]int64, error) {

@@ -766,3 +766,73 @@ func BenchmarkBarrier8(b *testing.B) {
 		return nil
 	})
 }
+
+// TestAllreduceUint32s covers the uint32 butterfly the curveball degree
+// bootstrap rides: sums agree with the int64 path and every rank sees
+// the identical vector, across the same world sizes as the int64 tests.
+func TestAllreduceUint32s(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			w, err := NewWorld(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			results := make([][]uint32, p)
+			err = w.Run(func(c *Comm) error {
+				xs := []uint32{uint32(c.Rank() + 1), 7, uint32(c.Rank() * c.Rank())}
+				for _, op := range []ReduceOp{OpSum, OpMin, OpMax} {
+					u32, err := c.AllreduceUint32s(xs, op)
+					if err != nil {
+						return err
+					}
+					i64s := make([]int64, len(xs))
+					for i, x := range xs {
+						i64s[i] = int64(x)
+					}
+					i64, err := c.AllreduceInt64s(i64s, op)
+					if err != nil {
+						return err
+					}
+					for i := range u32 {
+						if int64(u32[i]) != i64[i] {
+							return fmt.Errorf("op %v index %d: uint32 %d != int64 %d", op, i, u32[i], i64[i])
+						}
+					}
+					if op == OpSum {
+						results[c.Rank()] = u32
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rank := 1; rank < p; rank++ {
+				for i := range results[rank] {
+					if results[rank][i] != results[0][i] {
+						t.Fatalf("ranks disagree at %d: %v vs %v", i, results[rank], results[0])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBytesToUint32sRejectsRaggedPayload pins the codec validation.
+func TestBytesToUint32sRejectsRaggedPayload(t *testing.T) {
+	xs := []uint32{1, 2, 3}
+	rt, err := BytesToUint32s(Uint32sToBytes(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if rt[i] != xs[i] {
+			t.Fatalf("round trip %v -> %v", xs, rt)
+		}
+	}
+	if _, err := BytesToUint32s(make([]byte, 5)); err == nil {
+		t.Fatal("ragged payload accepted")
+	}
+}

@@ -34,6 +34,11 @@ type Options struct {
 	// Candidates lists step sizes to probe in increasing order; nil
 	// derives {t/1000, t/300, t/100, t/30, t/10, t/3, t}.
 	Candidates []int64
+	// Algorithm names the randomization algorithm of the production run.
+	// Step-size tuning is an edge-switch concept (stale selection
+	// probabilities within a step); curveball steps are single global
+	// rounds with nothing to tune, so StepSize rejects it.
+	Algorithm core.Algorithm
 }
 
 // Result reports the tuning outcome.
@@ -60,6 +65,9 @@ type Result struct {
 // subsample if g is huge; the suitable step size transfers as a fraction
 // of t for a fixed graph family.
 func StepSize(g *graph.Graph, t int64, opt Options) (*Result, error) {
+	if opt.Algorithm != "" && opt.Algorithm != core.AlgoEdgeSwitch {
+		return nil, fmt.Errorf("tune: step-size tuning is an edge-switch concept; %q steps are single global rounds", opt.Algorithm)
+	}
 	if opt.Ranks < 1 {
 		return nil, fmt.Errorf("tune: Ranks must be >= 1")
 	}

@@ -98,3 +98,15 @@ func TestStepSizeDefaultCandidates(t *testing.T) {
 		t.Fatalf("default candidate sweep too small: %v", res.CandidateER)
 	}
 }
+
+// TestStepSizeRejectsCurveball: step size is an edge-switch knob; a
+// curveball production run has nothing to tune (one round per step).
+func TestStepSizeRejectsCurveball(t *testing.T) {
+	g, err := gen.ErdosRenyi(rng.New(3), 100, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StepSize(g, 10, Options{Ranks: 2, Algorithm: core.AlgoCurveball}); err == nil {
+		t.Fatal("curveball accepted by step-size tuning")
+	}
+}
