@@ -31,7 +31,11 @@ race:
 
 # Multi-process distributed leg: drives the real ProcWorld/esworker path
 # across genuine OS processes (helper-process pattern in main_test.go),
-# with the race detector on in every process.
+# with the race detector on in every process. Includes the
+# fault-injection leg (TestRunKillRestoreMultiProcess): a worker is
+# SIGKILLed mid-run and the world must roll back to its last committed
+# checkpoint, admit a replacement rank, and finish with the input's
+# exact degree sequence.
 racedist:
 	$(GO) test -race -timeout 10m ./cmd/esworker/
 

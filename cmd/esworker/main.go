@@ -21,13 +21,27 @@
 // resulting graph is identical at every -size for the same seed.
 //
 //	esworker -gen pa -n 10000000 -d 10 -size 8 -rank 0 -coordinator 127.0.0.1:9870 -spawn
+//
+// With -checkpoint-dir the world writes a coordinated checkpoint at every
+// step boundary (see DESIGN.md "Checkpoints & recovery"). A rank that
+// observes a lost peer then rolls the world back to the last committed
+// checkpoint instead of faulting the job: every surviving process rejoins
+// a restarted world on the same coordinator address and resumes from its
+// own snapshot. With -spawn, rank 0 respawns the lost ranks itself (with
+// -restore appended); externally launched replacements join with the lost
+// rank's id and -restore:
+//
+//	esworker -graph g.txt -size 4 -rank 2 -coordinator 127.0.0.1:9870 \
+//	    -checkpoint-dir ck/ -restore
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"time"
 
@@ -39,29 +53,56 @@ import (
 	"edgeswitch/internal/mpi"
 )
 
+// workerOpts carries every esworker flag; one value describes the whole
+// process so the spawn/rollback paths can rebuild child command lines
+// from it verbatim.
+type workerOpts struct {
+	graphPath    string
+	genMod       string
+	genN, genD   int
+	size, rank   int
+	coord        string
+	tOps         int64
+	x            float64
+	scheme, algo string
+	steps        int64
+	seed         uint64
+	outPath      string
+	spawn        bool
+	timeout      time.Duration
+	writeTO      time.Duration
+	ckDir        string
+	ckEvery      int64
+	restore      bool
+	maxRollbacks int
+}
+
 func main() {
-	var (
-		graphPath = flag.String("graph", "", "edge-list file every rank loads (text, or binary with .bin)")
-		genMod    = flag.String("gen", "", "generate instead of loading: counter-based model (pa, contact); each rank builds only its own partition")
-		genN      = flag.Int("n", 100000, "vertex count (with -gen)")
-		genD      = flag.Int("d", 10, "degree parameter (with -gen: pa edges per vertex, contact average degree)")
-		size      = flag.Int("size", 1, "total number of ranks")
-		rank      = flag.Int("rank", 0, "this process's rank")
-		coord     = flag.String("coordinator", "127.0.0.1:9870", "rank 0's listen address")
-		tOps      = flag.Int64("t", 0, "edge switch operations (0: derive from -x)")
-		x         = flag.Float64("x", 1, "target visit rate when -t is 0")
-		scheme    = flag.String("scheme", "HP-U", "partitioning scheme: CP, HP-D, HP-M, HP-U")
-		algo      = flag.String("algo", "edge-switch", "randomization algorithm: edge-switch, curveball (curveball: -t counts global trade rounds, -steps is ignored; must match across ranks)")
-		steps     = flag.Int64("steps", 1, "number of steps")
-		seed      = flag.Uint64("seed", 1, "random seed (must match across ranks; with -gen it defines the graph)")
-		outPath   = flag.String("out", "", "rank 0 writes the switched graph here")
-		spawn     = flag.Bool("spawn", false, "rank 0 spawns ranks 1..size-1 as local child processes")
-		timeout   = flag.Duration("timeout", 30*time.Second, "coordinator dial timeout")
-		writeTO   = flag.Duration("write-timeout", 30*time.Second, "transport write deadline (a dead peer surfaces within this)")
-	)
+	var o workerOpts
+	flag.StringVar(&o.graphPath, "graph", "", "edge-list file every rank loads (text, or binary with .bin)")
+	flag.StringVar(&o.genMod, "gen", "", "generate instead of loading: counter-based model (pa, contact); each rank builds only its own partition")
+	flag.IntVar(&o.genN, "n", 100000, "vertex count (with -gen)")
+	flag.IntVar(&o.genD, "d", 10, "degree parameter (with -gen: pa edges per vertex, contact average degree)")
+	flag.IntVar(&o.size, "size", 1, "total number of ranks")
+	flag.IntVar(&o.rank, "rank", 0, "this process's rank")
+	flag.StringVar(&o.coord, "coordinator", "127.0.0.1:9870", "rank 0's listen address")
+	flag.Int64Var(&o.tOps, "t", 0, "edge switch operations (0: derive from -x)")
+	flag.Float64Var(&o.x, "x", 1, "target visit rate when -t is 0")
+	flag.StringVar(&o.scheme, "scheme", "HP-U", "partitioning scheme: CP, HP-D, HP-M, HP-U")
+	flag.StringVar(&o.algo, "algo", "edge-switch", "randomization algorithm: edge-switch, curveball (curveball: -t counts global trade rounds, -steps is ignored; must match across ranks)")
+	flag.Int64Var(&o.steps, "steps", 1, "number of steps")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed (must match across ranks; with -gen it defines the graph)")
+	flag.StringVar(&o.outPath, "out", "", "rank 0 writes the switched graph here")
+	flag.BoolVar(&o.spawn, "spawn", false, "rank 0 spawns ranks 1..size-1 as local child processes")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "coordinator dial timeout")
+	flag.DurationVar(&o.writeTO, "write-timeout", 30*time.Second, "transport write deadline (a dead peer surfaces within this)")
+	flag.StringVar(&o.ckDir, "checkpoint-dir", "", "directory for coordinated step-boundary checkpoints (empty: checkpointing off)")
+	flag.Int64Var(&o.ckEvery, "checkpoint-every", 1, "checkpoint every k-th step boundary (with -checkpoint-dir)")
+	flag.BoolVar(&o.restore, "restore", false, "resume from the newest restorable checkpoint in -checkpoint-dir before switching")
+	flag.IntVar(&o.maxRollbacks, "max-rollbacks", 3, "lost-peer rollback recoveries to attempt before failing (with -checkpoint-dir)")
 	flag.Parse()
-	if err := run(*graphPath, *genMod, *genN, *genD, *size, *rank, *coord, *tOps, *x, *scheme, *algo, *steps, *seed, *outPath, *spawn, *timeout, *writeTO); err != nil {
-		fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", *rank, err)
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", o.rank, err)
 		os.Exit(1)
 	}
 }
@@ -79,26 +120,27 @@ func genSpec(model string, n, d int, seed uint64) (*pergen.Spec, error) {
 	}
 }
 
-func run(graphPath, genMod string, genN, genD, size, rank int, coord string, tOps int64, x float64,
-	scheme, algo string, steps int64, seed uint64, outPath string, spawn bool, timeout, writeTO time.Duration) error {
-
+func run(o workerOpts) error {
+	if o.restore && o.ckDir == "" {
+		return fmt.Errorf("-restore needs -checkpoint-dir")
+	}
 	var g *graph.Graph
 	var spec *pergen.Spec
 	var mEdges int64
 	var err error
 	switch {
-	case graphPath != "" && genMod != "":
+	case o.graphPath != "" && o.genMod != "":
 		return fmt.Errorf("use either -graph or -gen, not both")
-	case genMod != "":
-		if spec, err = genSpec(genMod, genN, genD, seed); err != nil {
+	case o.genMod != "":
+		if spec, err = genSpec(o.genMod, o.genN, o.genD, o.seed); err != nil {
 			return err
 		}
 		if err = spec.Validate(); err != nil {
 			return err
 		}
 		mEdges = spec.MaxEdges()
-	case graphPath != "":
-		if g, err = edgeswitch.LoadGraphFile(graphPath, seed); err != nil {
+	case o.graphPath != "":
+		if g, err = edgeswitch.LoadGraphFile(o.graphPath, o.seed); err != nil {
 			return err
 		}
 		mEdges = g.M()
@@ -107,43 +149,62 @@ func run(graphPath, genMod string, genN, genD, size, rank int, coord string, tOp
 	}
 	// Every rank derives the same t from the same flags — with -gen this
 	// needs no collective because MaxEdges is deterministic in the spec.
-	t := tOps
+	t := o.tOps
 	targetX := 0.0
 	if t == 0 {
-		t, err = edgeswitch.TargetOpsFor(edgeswitch.Algorithm(algo), mEdges, x)
+		t, err = edgeswitch.TargetOpsFor(edgeswitch.Algorithm(o.algo), mEdges, o.x)
 		if err != nil {
 			return err
 		}
-		if edgeswitch.Algorithm(algo) == edgeswitch.Curveball {
+		if edgeswitch.Algorithm(o.algo) == edgeswitch.Curveball {
 			// The round bound is conservative; stop at the first round
 			// boundary where the observed rate reaches the target.
-			targetX = x
+			targetX = o.x
 		}
 	}
 	stepSize := int64(0)
-	if steps > 1 {
-		stepSize = (t + steps - 1) / steps
+	if o.steps > 1 {
+		stepSize = (t + o.steps - 1) / o.steps
 	}
 
-	var children []*exec.Cmd
-	if spawn && rank == 0 {
+	children := map[int]*exec.Cmd{}
+	if o.spawn && o.rank == 0 {
 		// Forward the RAW -t flag, not the derived t: a child that gets an
 		// explicit t skips the derivation above and would never arm the
 		// visit-rate early stop, diverging from this rank at the stop
 		// boundary (a guaranteed deadlock for a curveball -x run). With
 		// tOps=0 every rank re-derives the same t from the same flags.
-		children, err = spawnChildren(graphPath, genMod, genN, genD, size, coord, tOps, x, scheme, algo, steps, seed, timeout)
-		if err != nil {
+		if err := spawnChildren(o, children); err != nil {
 			_ = reapChildren(children, true)
 			return err
 		}
 	}
-	if err := runRank(g, spec, size, rank, coord, t, targetX, scheme, algo, stepSize, seed, outPath, timeout, writeTO); err != nil {
-		// Rank 0 failed (bad join, lost peer, ...): kill and reap the
-		// spawned ranks instead of orphaning them, and report our error —
-		// it is the cause, the children's exits are consequences.
-		_ = reapChildren(children, true)
-		return err
+
+	// The rollback loop: a lost peer with checkpointing armed rolls the
+	// world back instead of failing it. Every process — rank 0 and
+	// spawned or external workers alike — runs this same loop, so the
+	// survivors of a fault all tear down, rejoin a restarted world on the
+	// same coordinator address, and resume from the agreed checkpoint;
+	// rank 0 additionally replaces its lost children.
+	restore := o.restore
+	for attempt := 0; ; attempt++ {
+		lost, err := runRank(g, spec, o, t, targetX, stepSize, restore)
+		if err == nil {
+			break
+		}
+		if o.ckDir == "" || !errors.Is(err, mpi.ErrPeerLost) || attempt >= o.maxRollbacks {
+			_ = reapChildren(children, true)
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "esworker[%d]: peer lost (%v); rolling back to the last checkpoint (attempt %d of %d)\n",
+			o.rank, err, attempt+1, o.maxRollbacks)
+		restore = true
+		if o.spawn && o.rank == 0 {
+			if rerr := respawnLost(o, children, lost); rerr != nil {
+				_ = reapChildren(children, true)
+				return rerr
+			}
+		}
 	}
 	// Rank 0 succeeded; a child may still have failed on its own (its
 	// stderr went to ours). Report the first such failure.
@@ -154,69 +215,110 @@ func run(graphPath, genMod string, genN, genD, size, rank int, coord string, tOp
 // derive identical (t, targetX, stepSize) from identical flags, so the
 // caller forwards the RAW -t/-x flag values verbatim — never a derived
 // t, which would suppress the child's visit-rate early stop and deadlock
-// it against ranks that do stop.
-func childArgs(graphPath, genMod string, genN, genD, size, r int, coord string, t int64, x float64,
-	scheme, algo string, steps int64, seed uint64, timeout time.Duration) []string {
-
+// it against ranks that do stop. With restore set the child resumes from
+// the shared checkpoint directory (a replacement for a lost rank, or a
+// world-wide restart).
+func childArgs(o workerOpts, r int, restore bool) []string {
 	args := []string{
-		"-size", strconv.Itoa(size),
+		"-size", strconv.Itoa(o.size),
 		"-rank", strconv.Itoa(r),
-		"-coordinator", coord,
-		"-t", strconv.FormatInt(t, 10),
-		"-x", strconv.FormatFloat(x, 'g', -1, 64),
-		"-scheme", scheme,
-		"-algo", algo,
-		"-steps", strconv.FormatInt(steps, 10),
-		"-seed", strconv.FormatUint(seed, 10),
-		"-timeout", timeout.String(),
+		"-coordinator", o.coord,
+		"-t", strconv.FormatInt(o.tOps, 10),
+		"-x", strconv.FormatFloat(o.x, 'g', -1, 64),
+		"-scheme", o.scheme,
+		"-algo", o.algo,
+		"-steps", strconv.FormatInt(o.steps, 10),
+		"-seed", strconv.FormatUint(o.seed, 10),
+		"-timeout", o.timeout.String(),
 	}
-	if genMod != "" {
+	if o.genMod != "" {
 		// The generation spec must reach every rank verbatim — the
 		// seed and parameters ARE the graph.
-		args = append(args, "-gen", genMod, "-n", strconv.Itoa(genN), "-d", strconv.Itoa(genD))
+		args = append(args, "-gen", o.genMod, "-n", strconv.Itoa(o.genN), "-d", strconv.Itoa(o.genD))
 	} else {
-		args = append(args, "-graph", graphPath)
+		args = append(args, "-graph", o.graphPath)
+	}
+	if o.ckDir != "" {
+		args = append(args,
+			"-checkpoint-dir", o.ckDir,
+			"-checkpoint-every", strconv.FormatInt(o.ckEvery, 10),
+			"-max-rollbacks", strconv.Itoa(o.maxRollbacks))
+	}
+	if restore {
+		args = append(args, "-restore")
 	}
 	return args
 }
 
 // spawnChildren starts ranks 1..size-1 as local processes running this
-// executable. On a start failure it returns the children started so far
-// alongside the error, so the caller can reap them.
-func spawnChildren(graphPath, genMod string, genN, genD, size int, coord string, t int64, x float64,
-	scheme, algo string, steps int64, seed uint64, timeout time.Duration) ([]*exec.Cmd, error) {
-
+// executable, recording them in children. On a start failure the ranks
+// started so far remain recorded, so the caller can reap them.
+func spawnChildren(o workerOpts, children map[int]*exec.Cmd) error {
 	exe, err := os.Executable()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var children []*exec.Cmd
-	for r := 1; r < size; r++ {
-		cmd := exec.Command(exe, childArgs(graphPath, genMod, genN, genD, size, r, coord, t, x, scheme, algo, steps, seed, timeout)...)
+	for r := 1; r < o.size; r++ {
+		cmd := exec.Command(exe, childArgs(o, r, o.restore)...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
-			return children, fmt.Errorf("spawning rank %d: %w", r, err)
+			return fmt.Errorf("spawning rank %d: %w", r, err)
 		}
-		children = append(children, cmd)
+		children[r] = cmd
 	}
-	return children, nil
+	return nil
+}
+
+// respawnLost replaces the lost ranks with fresh children joining in
+// restore mode. The dead process (if it was ours) is reaped first — it
+// is already gone or wedged in the faulted world, and its slot must be
+// free before the replacement dials in.
+func respawnLost(o workerOpts, children map[int]*exec.Cmd, lost []int) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	for _, r := range lost {
+		if r == o.rank {
+			continue
+		}
+		if old := children[r]; old != nil {
+			_ = old.Process.Kill()
+			_ = old.Wait()
+			delete(children, r)
+		}
+		cmd := exec.Command(exe, childArgs(o, r, true)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("respawning lost rank %d: %w", r, err)
+		}
+		children[r] = cmd
+	}
+	return nil
 }
 
 // reapChildren waits for every spawned rank. With kill set it terminates
 // them first (the rank-0 failure path: children must not be orphaned) and
 // their exit statuses are not reported — the caller already holds the
-// root cause. Without kill it reports the first child failure.
-func reapChildren(children []*exec.Cmd, kill bool) error {
+// root cause. Without kill it reports the first child failure by rank
+// order.
+func reapChildren(children map[int]*exec.Cmd, kill bool) error {
 	if kill {
 		for _, cmd := range children {
 			_ = cmd.Process.Kill()
 		}
 	}
+	ranks := make([]int, 0, len(children))
+	for r := range children {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
 	var firstErr error
-	for i, cmd := range children {
-		if err := cmd.Wait(); err != nil && !kill && firstErr == nil {
-			firstErr = fmt.Errorf("child rank %d failed: %w", i+1, err)
+	for _, r := range ranks {
+		if err := children[r].Wait(); err != nil && !kill && firstErr == nil {
+			firstErr = fmt.Errorf("child rank %d failed: %w", r, err)
 		}
 	}
 	return firstErr
@@ -224,17 +326,21 @@ func reapChildren(children []*exec.Cmd, kill bool) error {
 
 // runRank joins the distributed world, runs this rank, and (on rank 0)
 // reports and saves the result. Exactly one of g (loaded graph) and spec
-// (distributed generation) is non-nil.
-func runRank(g *graph.Graph, spec *pergen.Spec, size, rank int, coord string, t int64, targetX float64,
-	scheme, algo string, stepSize int64, seed uint64, outPath string, timeout, writeTO time.Duration) (err error) {
+// (distributed generation) is non-nil. The ranks this process observed
+// as lost are returned alongside any error, for the rollback loop's
+// respawn decision.
+func runRank(g *graph.Graph, spec *pergen.Spec, o workerOpts, t int64, targetX float64,
+	stepSize int64, restore bool) (lost []int, err error) {
 
-	pw, err := mpi.JoinDistributed(rank, size, coord, timeout, mpi.WithWriteTimeout(writeTO))
+	pw, err := mpi.JoinDistributed(o.rank, o.size, o.coord, o.timeout, mpi.WithWriteTimeout(o.writeTO))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer func() {
-		// Teardown surfaces transport faults recorded while the world was
-		// live; do not let them mask the run's own error.
+		// Capture the fault record before teardown discards it; teardown
+		// errors surface transport faults recorded while the world was
+		// live but must not mask the run's own error.
+		lost = pw.LostRanks()
 		if cerr := pw.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
@@ -243,12 +349,15 @@ func runRank(g *graph.Graph, spec *pergen.Spec, size, rank int, coord string, t 
 	var res *core.Result
 	err = pw.Run(func(c *mpi.Comm) error {
 		r, err := core.RunRank(c, g, t, core.Config{
-			Scheme:          core.Scheme(scheme),
+			Scheme:          core.Scheme(o.scheme),
 			StepSize:        stepSize,
-			Seed:            seed,
-			Algorithm:       core.Algorithm(algo),
+			Seed:            o.seed,
+			Algorithm:       core.Algorithm(o.algo),
 			TargetVisitRate: targetX,
 			DistributedGen:  spec,
+			CheckpointDir:   o.ckDir,
+			CheckpointEvery: o.ckEvery,
+			Restore:         restore,
 		})
 		if err != nil {
 			return err
@@ -257,23 +366,26 @@ func runRank(g *graph.Graph, spec *pergen.Spec, size, rank int, coord string, t 
 		return nil
 	})
 	if err != nil {
-		return err
+		return lost, err
 	}
 
-	if rank == 0 {
+	if o.rank == 0 {
+		if res.RestoredStep > 0 {
+			fmt.Printf("resumed from checkpoint at step %d\n", res.RestoredStep)
+		}
 		fmt.Printf("distributed run complete: %d ops (%d restarts, %d forfeited) in %v across %d processes\n",
-			res.Ops, res.Restarts, res.Forfeited, res.Elapsed, size)
+			res.Ops, res.Restarts, res.Forfeited, res.Elapsed, o.size)
 		fmt.Printf("observed visit rate: %.6f\n", res.VisitRate)
 		for i := range res.RankOps {
 			fmt.Printf("rank %d: %d ops, %d->%d edges, %d msgs\n", i,
 				res.RankOps[i], res.RankInitialEdges[i], res.RankFinalEdges[i], res.RankMessages[i])
 		}
-		if outPath != "" {
-			if err := edgeswitch.SaveGraphFile(outPath, res.Graph); err != nil {
-				return err
+		if o.outPath != "" {
+			if err := edgeswitch.SaveGraphFile(o.outPath, res.Graph); err != nil {
+				return lost, err
 			}
-			fmt.Printf("wrote %s\n", outPath)
+			fmt.Printf("wrote %s\n", o.outPath)
 		}
 	}
-	return nil
+	return lost, nil
 }

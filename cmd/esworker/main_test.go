@@ -9,8 +9,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
+
+	"edgeswitch"
 )
 
 // TestMain doubles as the worker entry point for the multi-process tests:
@@ -31,32 +34,73 @@ func TestMain(m *testing.M) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		steps := int64(3)
-		if os.Getenv("ESWORKER_TEST_ALGO") == "curveball" {
-			steps = 1
+		o := workerOpts{
+			graphPath:    os.Getenv("ESWORKER_TEST_GRAPH"),
+			genMod:       os.Getenv("ESWORKER_TEST_GEN"),
+			genN:         600,
+			genD:         4,
+			size:         size,
+			rank:         rank,
+			coord:        os.Getenv("ESWORKER_TEST_COORD"),
+			tOps:         30,
+			x:            1,
+			scheme:       "HP-D",
+			algo:         os.Getenv("ESWORKER_TEST_ALGO"),
+			steps:        3,
+			seed:         9,
+			timeout:      10 * time.Second,
+			writeTO:      10 * time.Second,
+			ckDir:        os.Getenv("ESWORKER_TEST_CKDIR"),
+			ckEvery:      1,
+			restore:      os.Getenv("ESWORKER_TEST_RESTORE") == "1",
+			maxRollbacks: 3,
 		}
-		tOps, x := int64(30), 1.0
+		if o.algo == "curveball" {
+			o.steps = 1
+		}
 		if tv := os.Getenv("ESWORKER_TEST_T"); tv != "" {
-			if tOps, err = strconv.ParseInt(tv, 10, 64); err != nil {
+			if o.tOps, err = strconv.ParseInt(tv, 10, 64); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
 		if xv := os.Getenv("ESWORKER_TEST_X"); xv != "" {
-			if x, err = strconv.ParseFloat(xv, 64); err != nil {
+			if o.x, err = strconv.ParseFloat(xv, 64); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
-		err = run(os.Getenv("ESWORKER_TEST_GRAPH"), os.Getenv("ESWORKER_TEST_GEN"), 600, 4, size, rank, os.Getenv("ESWORKER_TEST_COORD"),
-			tOps, x, "HP-D", os.Getenv("ESWORKER_TEST_ALGO"), steps, 9, "", false, 10*time.Second, 10*time.Second)
-		if err != nil {
+		if sv := os.Getenv("ESWORKER_TEST_STEPS"); sv != "" {
+			if o.steps, err = strconv.ParseInt(sv, 10, 64); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := run(o); err != nil {
 			fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", rank, err)
 			os.Exit(1)
 		}
 		os.Exit(0)
 	}
 	os.Exit(m.Run())
+}
+
+// testOpts returns the baseline options the in-process tests start from;
+// callers override individual fields.
+func testOpts() workerOpts {
+	return workerOpts{
+		genN:         600,
+		genD:         4,
+		size:         1,
+		x:            1,
+		scheme:       "CP",
+		steps:        1,
+		seed:         3,
+		timeout:      10 * time.Second,
+		writeTO:      10 * time.Second,
+		ckEvery:      1,
+		maxRollbacks: 3,
+	}
 }
 
 func freePort(t *testing.T) string {
@@ -81,10 +125,14 @@ func writeTestGraph(t *testing.T) string {
 }
 
 func TestRunSingleRank(t *testing.T) {
-	g := writeTestGraph(t)
 	out := filepath.Join(t.TempDir(), "out.txt")
-	err := run(g, "", 0, 0, 1, 0, freePort(t), 20, 1, "CP", "", 1, 3, out, false, 5*time.Second, 5*time.Second)
-	if err != nil {
+	o := testOpts()
+	o.graphPath = writeTestGraph(t)
+	o.coord = freePort(t)
+	o.tOps = 20
+	o.outPath = out
+	o.timeout, o.writeTO = 5*time.Second, 5*time.Second
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -105,7 +153,11 @@ func TestRunMultiRankInProcess(t *testing.T) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = run(g, "", 0, 0, size, rank, addr, 30, 1, "HP-D", "", 3, 9, "", false, 10*time.Second, 10*time.Second)
+			o := testOpts()
+			o.graphPath, o.coord = g, addr
+			o.size, o.rank = size, rank
+			o.tOps, o.scheme, o.steps, o.seed = 30, "HP-D", 3, 9
+			errs[rank] = run(o)
 		}(rank)
 	}
 	wg.Wait()
@@ -124,7 +176,7 @@ func TestRunMultiProcess(t *testing.T) {
 	g := writeTestGraph(t)
 	addr := freePort(t)
 	const size = 3
-	var children []*exec.Cmd
+	children := map[int]*exec.Cmd{}
 	for rank := 1; rank < size; rank++ {
 		cmd := exec.Command(os.Args[0], "-test.run=^$")
 		cmd.Env = append(os.Environ(),
@@ -138,9 +190,14 @@ func TestRunMultiProcess(t *testing.T) {
 		if err := cmd.Start(); err != nil {
 			t.Fatal(err)
 		}
-		children = append(children, cmd)
+		children[rank] = cmd
 	}
-	runErr := run(g, "", 0, 0, size, 0, addr, 30, 1, "HP-D", "", 3, 9, "", false, 20*time.Second, 10*time.Second)
+	o := testOpts()
+	o.graphPath, o.coord = g, addr
+	o.size, o.rank = size, 0
+	o.tOps, o.scheme, o.steps, o.seed = 30, "HP-D", 3, 9
+	o.timeout = 20 * time.Second
+	runErr := run(o)
 	reapErr := reapChildren(children, runErr != nil)
 	if runErr != nil {
 		t.Fatalf("rank 0: %v", runErr)
@@ -163,11 +220,14 @@ func TestRunGenMultiRank(t *testing.T) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			o := ""
+			o := testOpts()
+			o.genMod, o.coord = "pa", addr
+			o.size, o.rank = size, rank
+			o.tOps, o.seed = 50, 9
 			if rank == 0 {
-				o = out
+				o.outPath = out
 			}
-			errs[rank] = run("", "pa", 600, 4, size, rank, addr, 50, 1, "CP", "", 1, 9, o, false, 10*time.Second, 10*time.Second)
+			errs[rank] = run(o)
 		}(rank)
 	}
 	wg.Wait()
@@ -182,17 +242,34 @@ func TestRunGenMultiRank(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", 0, 0, 1, 0, "127.0.0.1:1", 10, 1, "CP", "", 1, 1, "", false, time.Second, time.Second); err == nil {
+	base := testOpts()
+	base.coord = "127.0.0.1:1"
+	base.tOps = 10
+	base.timeout, base.writeTO = time.Second, time.Second
+
+	o := base
+	if err := run(o); err == nil {
 		t.Fatal("missing graph accepted")
 	}
-	if err := run("/nonexistent/file.txt", "", 0, 0, 1, 0, "127.0.0.1:1", 10, 1, "CP", "", 1, 1, "", false, time.Second, time.Second); err == nil {
+	o = base
+	o.graphPath = "/nonexistent/file.txt"
+	if err := run(o); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run("g.txt", "pa", 100, 4, 1, 0, "127.0.0.1:1", 10, 1, "CP", "", 1, 1, "", false, time.Second, time.Second); err == nil {
+	o = base
+	o.graphPath, o.genMod = "g.txt", "pa"
+	if err := run(o); err == nil {
 		t.Fatal("both -graph and -gen accepted")
 	}
-	if err := run("", "bogus", 100, 4, 1, 0, "127.0.0.1:1", 10, 1, "CP", "", 1, 1, "", false, time.Second, time.Second); err == nil {
+	o = base
+	o.genMod = "bogus"
+	if err := run(o); err == nil {
 		t.Fatal("bogus -gen model accepted")
+	}
+	o = base
+	o.genMod, o.restore = "pa", true
+	if err := run(o); err == nil {
+		t.Fatal("-restore without -checkpoint-dir accepted")
 	}
 }
 
@@ -200,13 +277,13 @@ func TestRunValidation(t *testing.T) {
 // terminated and waited on (no orphans), and their forced exits must not
 // produce an error that could mask the root cause.
 func TestReapChildrenKill(t *testing.T) {
-	var children []*exec.Cmd
-	for i := 0; i < 2; i++ {
+	children := map[int]*exec.Cmd{}
+	for i := 1; i <= 2; i++ {
 		cmd := exec.Command("sleep", "300")
 		if err := cmd.Start(); err != nil {
 			t.Skipf("cannot start sleep: %v", err)
 		}
-		children = append(children, cmd)
+		children[i] = cmd
 	}
 	done := make(chan error, 1)
 	go func() { done <- reapChildren(children, true) }()
@@ -235,7 +312,7 @@ func TestReapChildrenReportsFailure(t *testing.T) {
 			t.Skipf("cannot start %v: %v", cmd.Args, err)
 		}
 	}
-	err := reapChildren([]*exec.Cmd{ok, bad}, false)
+	err := reapChildren(map[int]*exec.Cmd{1: ok, 2: bad}, false)
 	if err == nil {
 		t.Fatal("child failure not reported")
 	}
@@ -258,7 +335,11 @@ func TestRunCurveballMultiRankInProcess(t *testing.T) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs[rank] = run(g, "", 0, 0, size, rank, addr, 5, 1, "HP-D", "curveball", 1, 9, "", false, 10*time.Second, 10*time.Second)
+			o := testOpts()
+			o.graphPath, o.coord = g, addr
+			o.size, o.rank = size, rank
+			o.tOps, o.scheme, o.algo, o.seed = 5, "HP-D", "curveball", 9
+			errs[rank] = run(o)
 		}(rank)
 	}
 	wg.Wait()
@@ -276,7 +357,7 @@ func TestRunCurveballMultiProcess(t *testing.T) {
 	g := writeTestGraph(t)
 	addr := freePort(t)
 	const size = 3
-	var children []*exec.Cmd
+	children := map[int]*exec.Cmd{}
 	for rank := 1; rank < size; rank++ {
 		cmd := exec.Command(os.Args[0], "-test.run=^$")
 		cmd.Env = append(os.Environ(),
@@ -291,9 +372,14 @@ func TestRunCurveballMultiProcess(t *testing.T) {
 		if err := cmd.Start(); err != nil {
 			t.Fatal(err)
 		}
-		children = append(children, cmd)
+		children[rank] = cmd
 	}
-	runErr := run(g, "", 0, 0, size, 0, addr, 30, 1, "HP-D", "curveball", 1, 9, "", false, 20*time.Second, 10*time.Second)
+	o := testOpts()
+	o.graphPath, o.coord = g, addr
+	o.size, o.rank = size, 0
+	o.tOps, o.scheme, o.algo, o.seed = 30, "HP-D", "curveball", 9
+	o.timeout = 20 * time.Second
+	runErr := run(o)
 	reapErr := reapChildren(children, runErr != nil)
 	if runErr != nil {
 		t.Fatalf("rank 0: %v", runErr)
@@ -312,7 +398,7 @@ func TestRunCurveballMultiProcess(t *testing.T) {
 func TestRunCurveballVisitRateMultiProcess(t *testing.T) {
 	addr := freePort(t)
 	const size = 3
-	var children []*exec.Cmd
+	children := map[int]*exec.Cmd{}
 	for rank := 1; rank < size; rank++ {
 		cmd := exec.Command(os.Args[0], "-test.run=^$")
 		cmd.Env = append(os.Environ(),
@@ -329,9 +415,14 @@ func TestRunCurveballVisitRateMultiProcess(t *testing.T) {
 		if err := cmd.Start(); err != nil {
 			t.Fatal(err)
 		}
-		children = append(children, cmd)
+		children[rank] = cmd
 	}
-	runErr := run("", "pa", 600, 4, size, 0, addr, 0, 0.9, "HP-D", "curveball", 1, 9, "", false, 20*time.Second, 10*time.Second)
+	o := testOpts()
+	o.genMod, o.coord = "pa", addr
+	o.size, o.rank = size, 0
+	o.tOps, o.x, o.scheme, o.algo, o.seed = 0, 0.9, "HP-D", "curveball", 9
+	o.timeout = 20 * time.Second
+	runErr := run(o)
 	reapErr := reapChildren(children, runErr != nil)
 	if runErr != nil {
 		t.Fatalf("rank 0: %v", runErr)
@@ -341,13 +432,146 @@ func TestRunCurveballVisitRateMultiProcess(t *testing.T) {
 	}
 }
 
+// TestRunKillRestoreMultiProcess is the fault-injection leg of the
+// checkpoint/restore tentpole, run under -race by `make racedist`: a
+// 3-rank world checkpoints every step boundary; once the first manifest
+// commits, one worker is SIGKILLed mid-run. The survivors must observe
+// the lost peer, roll back to the last committed checkpoint, and rejoin
+// a restarted world on the same coordinator address; a replacement
+// process joins with the lost rank's id and -restore. The recovered run
+// must complete and produce a graph with the input's exact degree
+// sequence (the restore integrity check, asserted end to end).
+func TestRunKillRestoreMultiProcess(t *testing.T) {
+	// A graph big enough that the run outlives the kill by a wide margin:
+	// a circulant graph, every vertex of degree 6.
+	const n, deg = 2000, 6
+	path := filepath.Join(t.TempDir(), "ring.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 0
+	for i := 0; i < n; i++ {
+		for _, off := range []int{1, 2, 7} {
+			fmt.Fprintf(f, "%d %d\n", i, (i+off)%n)
+			m++
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freePort(t)
+	ckDir := filepath.Join(t.TempDir(), "ck")
+	const size, tOps, steps = 3, 60000, 40
+	children := map[int]*exec.Cmd{}
+	worker := func(rank int, restore bool) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"ESWORKER_TEST_RANK="+strconv.Itoa(rank),
+			"ESWORKER_TEST_SIZE="+strconv.Itoa(size),
+			"ESWORKER_TEST_GRAPH="+path,
+			"ESWORKER_TEST_COORD="+addr,
+			"ESWORKER_TEST_T="+strconv.Itoa(tOps),
+			"ESWORKER_TEST_STEPS="+strconv.Itoa(steps),
+			"ESWORKER_TEST_CKDIR="+ckDir,
+		)
+		if restore {
+			cmd.Env = append(cmd.Env, "ESWORKER_TEST_RESTORE=1")
+		}
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	for rank := 1; rank < size; rank++ {
+		children[rank] = worker(rank, false)
+	}
+
+	out := filepath.Join(t.TempDir(), "restored-out.txt")
+	rank0Done := make(chan error, 1)
+	go func() {
+		o := testOpts()
+		o.graphPath, o.coord = path, addr
+		o.size, o.rank = size, 0
+		o.tOps, o.scheme, o.steps, o.seed = tOps, "HP-D", steps, 9
+		o.outPath = out
+		o.ckDir = ckDir
+		o.timeout = 30 * time.Second
+		rank0Done <- run(o)
+	}()
+
+	// Wait for the first committed checkpoint, then kill rank 2 hard.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if ents, err := os.ReadDir(ckDir); err == nil {
+			committed := false
+			for _, e := range ents {
+				if filepath.Ext(e.Name()) == ".json" {
+					committed = true
+				}
+			}
+			if committed {
+				break
+			}
+		}
+		select {
+		case err := <-rank0Done:
+			t.Fatalf("run finished before any checkpoint committed (err=%v): the kill window never opened, raise -t", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint manifest appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := children[2].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("killing rank 2: %v", err)
+	}
+	_ = children[2].Wait()
+
+	// The replacement joins with the lost rank's id in restore mode; the
+	// survivors roll back on their own.
+	children[2] = worker(2, true)
+
+	if err := <-rank0Done; err != nil {
+		t.Fatalf("rank 0 did not recover: %v", err)
+	}
+	if err := reapChildren(children, false); err != nil {
+		t.Fatalf("child after recovery: %v", err)
+	}
+
+	// End-to-end integrity: the switched graph preserves the exact degree
+	// sequence of the input (every vertex had degree 6) and the edge count.
+	got, err := edgeswitch.LoadGraphFile(out, 1)
+	if err != nil {
+		t.Fatalf("loading recovered output: %v", err)
+	}
+	if got.M() != int64(m) {
+		t.Fatalf("recovered graph has %d edges, want %d", got.M(), m)
+	}
+	for v, d := range got.Degrees() {
+		if d != deg {
+			t.Fatalf("vertex %d has degree %d after recovery, want %d", v, d, deg)
+		}
+	}
+}
+
 // TestChildArgsForwardRawFlags pins the spawn contract childArgs
 // documents: the raw -t/-x flag values reach children verbatim. A
 // derived t here once suppressed the children's early stop and hung
 // -spawn -x curveball runs.
 func TestChildArgsForwardRawFlags(t *testing.T) {
-	args := childArgs("", "pa", 5000, 6, 3, 2, "127.0.0.1:9", 0, 0.9,
-		"HP-D", "curveball", 1, 42, 10*time.Second)
+	o := testOpts()
+	o.genMod, o.genN, o.genD = "pa", 5000, 6
+	o.size, o.rank = 3, 0
+	o.coord = "127.0.0.1:9"
+	o.tOps, o.x = 0, 0.9
+	o.scheme, o.algo = "HP-D", "curveball"
+	o.seed = 42
+	args := childArgs(o, 2, false)
 	get := func(flag string) string {
 		for i := 0; i+1 < len(args); i++ {
 			if args[i] == flag {
@@ -368,5 +592,57 @@ func TestChildArgsForwardRawFlags(t *testing.T) {
 	}
 	if v := get("-gen"); v != "pa" {
 		t.Fatalf("-gen %q", v)
+	}
+	for _, a := range args {
+		if a == "-checkpoint-dir" || a == "-restore" {
+			t.Fatalf("checkpoint flag %s forwarded without -checkpoint-dir set", a)
+		}
+	}
+}
+
+// TestChildArgsForwardCheckpointFlags pins the recovery half of the
+// spawn contract: the checkpoint directory, cadence and rollback budget
+// reach every child (they must all checkpoint the same boundaries), and
+// -restore is appended exactly when the child joins as a replacement or
+// during a world-wide restart.
+func TestChildArgsForwardCheckpointFlags(t *testing.T) {
+	o := testOpts()
+	o.graphPath = "g.txt"
+	o.size = 4
+	o.coord = "127.0.0.1:9"
+	o.ckDir, o.ckEvery, o.maxRollbacks = "/tmp/ck", 5, 7
+	args := childArgs(o, 1, false)
+	get := func(flag string) string {
+		for i := 0; i+1 < len(args); i++ {
+			if args[i] == flag {
+				return args[i+1]
+			}
+		}
+		t.Fatalf("flag %s missing from %v", flag, args)
+		return ""
+	}
+	if v := get("-checkpoint-dir"); v != "/tmp/ck" {
+		t.Fatalf("-checkpoint-dir %q", v)
+	}
+	if v := get("-checkpoint-every"); v != "5" {
+		t.Fatalf("-checkpoint-every %q", v)
+	}
+	if v := get("-max-rollbacks"); v != "7" {
+		t.Fatalf("-max-rollbacks %q", v)
+	}
+	for _, a := range args {
+		if a == "-restore" {
+			t.Fatal("-restore appended to a non-restore child")
+		}
+	}
+	restoreArgs := childArgs(o, 1, true)
+	found := false
+	for _, a := range restoreArgs {
+		if a == "-restore" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("-restore missing from replacement child args %v", restoreArgs)
 	}
 }

@@ -434,6 +434,14 @@ func (r *curveball) routeTraded(t int32, anchor, other graph.Vertex, orig bool) 
 
 // advance: curveball is fully event-driven — prepare seeds the round's
 // messages and handle does the rest.
+// cursor is the round counter: at a quiesced round boundary it is the
+// only live protocol state (pairing and draws are recomputed from
+// counter streams keyed on (seed, round)), so restoring it resumes the
+// deterministic round chain exactly.
+func (r *curveball) cursor() uint64 { return uint64(r.round) }
+
+func (r *curveball) restoreCursor(c uint64) { r.round = int64(c) }
+
 func (r *curveball) advance() (bool, error) { return false, nil }
 
 // done: all owned trades executed. The chassis keeps draining messages

@@ -33,10 +33,27 @@ func runRankGen(c *mpi.Comm, t int64, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := newRankEngineFromGen(c, pt, gn, cfg)
+	ck, err := newCheckpointer(c, cfg)
 	if err != nil {
 		return nil, err
 	}
+	var eng *rankEngine
+	if cfg.Restore {
+		// The generated graph's edge count is known only after the scan,
+		// so the manifest's m is trusted (m = -1 skips the cross-check);
+		// the degree-CRC comparison still pins the restored state exactly.
+		eng, _, err = ck.restoreEngine(pt, gn.N(), -1, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if eng == nil {
+		eng, err = newRankEngineFromGen(c, pt, gn, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng.ckpt = ck
 	if eng.m < 2 && t > 0 {
 		return nil, fmt.Errorf("core: need at least 2 edges to switch, generator spec yields %d", eng.m)
 	}

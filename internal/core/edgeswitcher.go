@@ -205,6 +205,14 @@ func (r *edgeSwitcher) quiesced() error {
 	return nil
 }
 
+// cursor is the operation sequence counter: at a quiesced step boundary
+// every map is empty and seq is the only protocol state a resumed run
+// needs (ids of completed operations never recur, so restoring seq keeps
+// post-restore opIDs distinct from pre-checkpoint ones).
+func (r *edgeSwitcher) cursor() uint64 { return r.seq }
+
+func (r *edgeSwitcher) restoreCursor(c uint64) { r.seq = c }
+
 // handle dispatches one conversation-protocol message from src. The
 // chassis dispatches through the randomizer interface, which ends
 // hotalloc's static call walk, so the per-message entry points root

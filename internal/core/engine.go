@@ -120,6 +120,19 @@ type rankEngine struct {
 	winCtl *window.Controller
 	winMax int
 
+	// Checkpointing (Config.CheckpointDir): ckpt runs the per-boundary
+	// snapshot/manifest protocol after every CheckpointEvery-th completed
+	// step; restoredStep records the boundary a restored run resumed from
+	// (0 for fresh runs) — see checkpoint.go and snapshot.go.
+	ckpt         *checkpointer
+	restoredStep int64
+
+	// Reused step-boundary scratch (see stepsync.go): stepCounts holds
+	// the decoded per-rank edge counts, stepBuf the unchecked-run encode
+	// buffer — both allocated once so boundaries stay off the allocator.
+	stepCounts []int64
+	stepBuf    []byte
+
 	// Statistics.
 	opsInitiated int64
 	restarts     int64
@@ -238,6 +251,7 @@ func newEmptyRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, cfg Config
 		noBatch:  cfg.DisableBatching,
 		targetX:  cfg.TargetVisitRate,
 		stalled:  make([]bool, c.Size()),
+		stepBuf:  make([]byte, 20),
 	}
 	e.sb.init(c)
 	if e.sanitize {
@@ -313,8 +327,12 @@ func (e *rankEngine) run(t, stepSize int64) error {
 			return err
 		}
 	}
-	step := 0
-	for done := int64(0); done < t; done += stepSize {
+	// A restored engine resumes after its stepsRun completed steps; the
+	// uninterrupted run reaches the same loop state at that boundary with
+	// the same storage, RNG position and randomizer cursor, so the two
+	// runs are indistinguishable from here on.
+	step := int(e.stepsRun)
+	for done := e.stepsRun * stepSize; done < t; done += stepSize {
 		step++
 		s := stepSize
 		if t-done < s {
@@ -340,6 +358,14 @@ func (e *rankEngine) run(t, stepSize int64) error {
 		}
 		e.endStep()
 		e.stepsRun++
+		if e.ckpt != nil && e.stepsRun%e.ckpt.every == 0 {
+			// The boundary is a consistent cut: the plane is empty and the
+			// randomizer quiescent (checkStepInvariants), so the snapshot
+			// protocol runs here, between steps.
+			if err := e.ckpt.save(e, stepSize); err != nil {
+				return e.stepErr(step, "checkpoint", err)
+			}
+		}
 	}
 	if e.sanitize {
 		return e.verifyBaseline()

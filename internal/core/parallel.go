@@ -105,6 +105,35 @@ type Config struct {
 	// addition to the per-step |E_local|/4 clamp (default: no static
 	// cap). Ignored without AdaptiveWindow.
 	WindowCeiling int
+	// CheckpointDir, when set, enables step-boundary checkpointing: every
+	// CheckpointEvery-th completed step, each rank writes its partition,
+	// RNG position and randomizer cursor to a per-rank snapshot file in
+	// this directory (CRC32C trailer, atomic rename), and rank 0 commits
+	// a manifest only after every rank's file CRC has been acknowledged
+	// through a collective — so a crash at any point leaves the previous
+	// checkpoint restorable. All ranks must see the same directory (a
+	// shared filesystem, or one machine). See DESIGN.md §6.
+	CheckpointDir string
+	// CheckpointEvery is the number of completed steps between
+	// checkpoints. 0 means 1 (every boundary) when CheckpointDir is set;
+	// ignored otherwise.
+	CheckpointEvery int64
+	// CheckpointKeep is the number of most recent checkpoints retained
+	// after each commit. 0 means the default of 2 (the newly committed
+	// one plus its predecessor); negative keeps every checkpoint (the
+	// restore-equivalence tests restore every boundary of a run).
+	CheckpointKeep int
+	// Restore resumes the run from the newest checkpoint in CheckpointDir
+	// that every rank can restore, agreed through an OpMin collective; if
+	// no common restorable checkpoint exists the run bootstraps fresh.
+	// The restored world re-derives the global degree sequence and checks
+	// its CRC against the manifest before switching resumes. Requires
+	// CheckpointDir.
+	Restore bool
+	// RestoreStep, when > 0 with Restore, demands the checkpoint of that
+	// exact step instead of the newest restorable one; a run that cannot
+	// honor it fails with the reason rather than silently starting fresh.
+	RestoreStep int64
 }
 
 // Result reports a parallel run.
@@ -159,6 +188,9 @@ type Result struct {
 	// RankFlushes[i] counts message-plane flushes forced by rank i's
 	// step loop blocking (batches pushed out before a Recv wait).
 	RankFlushes []int64
+	// RestoredStep is the step boundary this run resumed from (0 when it
+	// started fresh rather than from a checkpoint).
+	RestoredStep int64
 	// Elapsed is the wall-clock time of the switching phase (excludes
 	// graph partitioning and reassembly).
 	Elapsed time.Duration
@@ -261,24 +293,40 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-
-	// Load this rank's partition.
-	var local []flaggedEdge
-	for ui := 0; ui < g.N(); ui++ {
-		u := graph.Vertex(ui)
-		if pt.Owner(u) != c.Rank() {
-			continue
-		}
-		g.WalkReduced(u, func(v graph.Vertex, orig bool) bool {
-			local = append(local, flaggedEdge{graph.Edge{U: u, V: v}, orig})
-			return true
-		})
-	}
-
-	eng, err := newRankEngine(c, pt, g.N(), g.M(), local, cfg)
+	ck, err := newCheckpointer(c, cfg)
 	if err != nil {
 		return nil, err
 	}
+
+	var eng *rankEngine
+	if cfg.Restore {
+		// The rollback collective: agree on the newest checkpoint every
+		// rank can restore and rebuild the engines from it; a nil engine
+		// means no common checkpoint, so bootstrap fresh below.
+		eng, _, err = ck.restoreEngine(pt, g.N(), g.M(), cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if eng == nil {
+		// Load this rank's partition.
+		var local []flaggedEdge
+		for ui := 0; ui < g.N(); ui++ {
+			u := graph.Vertex(ui)
+			if pt.Owner(u) != c.Rank() {
+				continue
+			}
+			g.WalkReduced(u, func(v graph.Vertex, orig bool) bool {
+				local = append(local, flaggedEdge{graph.Edge{U: u, V: v}, orig})
+				return true
+			})
+		}
+		eng, err = newRankEngine(c, pt, g.N(), g.M(), local, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng.ckpt = ck
 	return runEngine(eng, t, cfg, func(*graph.Graph) *Baseline { return NewBaseline(g) })
 }
 
@@ -303,6 +351,11 @@ func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Gr
 		stepSize = 1
 	} else if stepSize <= 0 || stepSize > t {
 		stepSize = t
+	}
+	if eng.restoredStep > 0 && eng.ckpt != nil && eng.ckpt.restoredStepSize != stepSize {
+		// The resume offset is stepsRun × stepSize: a different step size
+		// would replay or skip operations, so it is part of the identity.
+		return nil, fmt.Errorf("core: restored checkpoint was taken with step size %d, this run uses %d", eng.ckpt.restoredStepSize, stepSize)
 	}
 	start := clock.Now()
 	if err := eng.run(t, stepSize); err != nil {
@@ -357,6 +410,7 @@ func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Gr
 			res.Restarts += vs[1]
 		}
 		res.Steps = int(eng.stepsRun)
+		res.RestoredStep = eng.restoredStep
 		res.VisitRate = VisitRate(origSum, eng.m)
 	}
 	if cfg.SkipResult {

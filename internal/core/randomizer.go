@@ -84,4 +84,13 @@ type randomizer interface {
 	handle(om opMsg, src int) error
 	// quiesced verifies no protocol state dangles at a step boundary.
 	quiesced() error
+	// cursor returns the randomizer's resume cursor — the only protocol
+	// state that survives a step boundary (the edge switcher's operation
+	// sequence counter, curveball's round number). Captured by the
+	// checkpoint layer at boundaries, where quiesced guarantees all maps
+	// and in-flight state are empty.
+	cursor() uint64
+	// restoreCursor reinstates a cursor captured by cursor at the same
+	// step boundary, as part of restoring a checkpointed engine.
+	restoreCursor(uint64)
 }

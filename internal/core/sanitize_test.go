@@ -261,3 +261,30 @@ func TestEngineSanitizerCleanAfterSwitches(t *testing.T) {
 		t.Fatalf("round-tripped engine flagged by full pass: %v", err)
 	}
 }
+
+// TestStepExchangeClearsDeltasOnViolation: when the checked step
+// exchange reports a violation, it must still consume e.degDelta — the
+// deltas describe drift up to THIS boundary, and leaving them behind
+// would double-count the same drift against the next boundary's check
+// (or corrupt the picture entirely once the run rolls back).
+func TestStepExchangeClearsDeltasOnViolation(t *testing.T) {
+	g, err := gen.ErdosRenyi(rng.New(46), 60, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, w := newTestEngine(t, g)
+	defer w.Close()
+	if err := eng.recordBaseline(); err != nil {
+		t.Fatal(err)
+	}
+	sw := es(t, eng)
+	if err := sw.discard(sw.takeRandomEdge()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.stepExchange(); err == nil {
+		t.Fatal("dropped edge not detected")
+	}
+	if len(eng.degDelta) != 0 {
+		t.Fatalf("degDelta holds %d entries after a violating exchange; must be cleared on every exit path", len(eng.degDelta))
+	}
+}

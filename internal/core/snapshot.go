@@ -1,0 +1,240 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// Step-boundary snapshots: at a boundary the engine is a closed system —
+// the message plane is empty, the randomizer is quiesced (asserted by
+// checkStepInvariants), and the sanitizer's degree deltas have been
+// folded into the exchange — so a rank's entire resumable state is its
+// partition (adjacency keys + original flags), its RNG stream position,
+// the randomizer's cursor, and a handful of counters. Treap priorities
+// are deliberately not captured: uniform edge selection is key-order
+// based (Fenwick prefix + Kth), so priorities shape only the treap's
+// internal form and a restore draws fresh ones from a dedicated stream,
+// leaving the run RNG at exactly its captured position.
+//
+// Layout (little-endian), with a CRC32C (Castagnoli) trailer over
+// everything before it:
+//
+//	"ESSN" | version u16 | algo u8 | pad u8 | rank u32 | size u32
+//	step i64 | n u32 | nv u32 | m i64 | seed u64
+//	rnd state 4×u64 | cursor u64
+//	initialEdges i64 | origLocal i64
+//	opsInitiated, restarts, forfeited, msgsSent 4×i64
+//	tot stepStats 7×i64 | winMax i64 | window i64
+//	nv × adjacency list (graph.AppendAdjSet)
+//	crc32c u32
+
+// snapMagic and snapVersion identify a snapshot file; a version bump
+// invalidates old checkpoints loudly instead of misdecoding them.
+const (
+	snapMagic   = "ESSN"
+	snapVersion = 1
+)
+
+// snapHeaderLen is the fixed-size prefix before the adjacency encoding.
+const snapHeaderLen = 208
+
+// castagnoli is the CRC32C table shared by snapshot trailers and the
+// manifest's degree-sequence checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// restorePrioSplit offsets the per-rank stream index of the restore-only
+// priority RNG far away from every stream the run itself draws from
+// (ranks use indices rank+2, HP-U uses 1<<20).
+const restorePrioSplit = 1 << 21
+
+// snapAlgoByte maps the algorithm to its snapshot byte.
+func snapAlgoByte(a Algorithm) uint8 {
+	if a == AlgoCurveball {
+		return 1
+	}
+	return 0
+}
+
+// snapState is the decoded fixed-size portion of a snapshot.
+type snapState struct {
+	algo         uint8
+	rank, size   int
+	step         int64
+	n, nv        int
+	m            int64
+	seed         uint64
+	rnd          [4]uint64
+	cursor       uint64
+	initialEdges int64
+	origLocal    int64
+	opsInitiated int64
+	restarts     int64
+	forfeited    int64
+	msgsSent     int64
+	tot          stepStats
+	winMax       int64
+	window       int64
+}
+
+// encodeSnapshot serializes this rank's resumable state at a quiesced
+// step boundary, with the CRC32C trailer appended. Call only between
+// steps (the checkpoint hook in run).
+func (e *rankEngine) encodeSnapshot() []byte {
+	buf := make([]byte, snapHeaderLen, snapHeaderLen+16*len(e.verts))
+	copy(buf[0:], snapMagic)
+	le := binary.LittleEndian
+	le.PutUint16(buf[4:], snapVersion)
+	algo := AlgoEdgeSwitch
+	if _, ok := e.rand.(*curveball); ok {
+		algo = AlgoCurveball
+	}
+	buf[6] = snapAlgoByte(algo)
+	le.PutUint32(buf[8:], uint32(e.c.Rank()))
+	le.PutUint32(buf[12:], uint32(e.c.Size()))
+	le.PutUint64(buf[16:], uint64(e.stepsRun))
+	le.PutUint32(buf[24:], uint32(e.n))
+	le.PutUint32(buf[28:], uint32(len(e.verts)))
+	le.PutUint64(buf[32:], uint64(e.m))
+	le.PutUint64(buf[40:], e.seed)
+	st := e.rnd.State()
+	for i, w := range st {
+		le.PutUint64(buf[48+8*i:], w)
+	}
+	le.PutUint64(buf[80:], e.rand.cursor())
+	le.PutUint64(buf[88:], uint64(e.initialEdges))
+	le.PutUint64(buf[96:], uint64(e.origLocal))
+	counters := []int64{
+		e.opsInitiated, e.restarts, e.forfeited, e.msgsSent,
+		e.tot.started, e.tot.committed, e.tot.aborts, e.tot.conflicts,
+		e.tot.reserveFails, e.tot.flushes, int64(e.tot.inFlightHWM),
+		int64(e.winMax), e.currentWindow(),
+	}
+	for i, v := range counters {
+		le.PutUint64(buf[104+8*i:], uint64(v))
+	}
+	for li := range e.adj {
+		buf = e.adj[li].AppendAdjSet(buf, e.verts[li])
+	}
+	var trailer [4]byte
+	le.PutUint32(trailer[:], crc32.Checksum(buf, castagnoli))
+	return append(buf, trailer[:]...)
+}
+
+// currentWindow reports the adaptive controller's live window, or 0 in
+// fixed-window runs — the value a restored controller restarts from.
+func (e *rankEngine) currentWindow() int64 {
+	if e.winCtl == nil {
+		return 0
+	}
+	return int64(e.winCtl.Window())
+}
+
+// snapshotCRC returns the stored trailer CRC of an encoded snapshot.
+func snapshotCRC(data []byte) (uint32, error) {
+	if len(data) < snapHeaderLen+4 {
+		return 0, fmt.Errorf("core: snapshot truncated (%d bytes)", len(data))
+	}
+	return binary.LittleEndian.Uint32(data[len(data)-4:]), nil
+}
+
+// decodeSnapshotHeader verifies the magic, version and CRC32C trailer
+// and decodes the fixed-size state. The adjacency bytes are returned for
+// loadSnapshotAdjacency.
+func decodeSnapshotHeader(data []byte) (*snapState, []byte, error) {
+	if len(data) < snapHeaderLen+4 {
+		return nil, nil, fmt.Errorf("core: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[0:4]) != snapMagic {
+		return nil, nil, fmt.Errorf("core: snapshot has bad magic %q", data[0:4])
+	}
+	le := binary.LittleEndian
+	body, trailer := data[:len(data)-4], le.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != trailer {
+		return nil, nil, fmt.Errorf("core: snapshot CRC mismatch: file carries %08x, contents hash to %08x — the checkpoint file is corrupted; delete it (or the whole step's checkpoint) and restore an earlier step", trailer, got)
+	}
+	if v := le.Uint16(data[4:]); v != snapVersion {
+		return nil, nil, fmt.Errorf("core: snapshot version %d, this binary reads %d", v, snapVersion)
+	}
+	s := &snapState{
+		algo:   data[6],
+		rank:   int(le.Uint32(data[8:])),
+		size:   int(le.Uint32(data[12:])),
+		step:   int64(le.Uint64(data[16:])),
+		n:      int(le.Uint32(data[24:])),
+		nv:     int(le.Uint32(data[28:])),
+		m:      int64(le.Uint64(data[32:])),
+		seed:   le.Uint64(data[40:]),
+		cursor: le.Uint64(data[80:]),
+	}
+	for i := range s.rnd {
+		s.rnd[i] = le.Uint64(data[48+8*i:])
+	}
+	counters := make([]int64, 13)
+	for i := range counters {
+		counters[i] = int64(le.Uint64(data[104+8*i:]))
+	}
+	s.initialEdges = int64(le.Uint64(data[88:]))
+	s.origLocal = int64(le.Uint64(data[96:]))
+	s.opsInitiated, s.restarts, s.forfeited, s.msgsSent = counters[0], counters[1], counters[2], counters[3]
+	s.tot = stepStats{
+		started: counters[4], committed: counters[5], aborts: counters[6],
+		conflicts: counters[7], reserveFails: counters[8], flushes: counters[9],
+		inFlightHWM: int(counters[10]),
+	}
+	s.winMax, s.window = counters[11], counters[12]
+	return s, body[snapHeaderLen:], nil
+}
+
+// loadSnapshotAdjacency rebuilds the engine's local storage from the
+// snapshot's adjacency bytes: each slot's keys and original flags are
+// decoded and bulk-built (graph.AdjSet.BuildSortedFlagged), with fresh
+// treap priorities drawn from a restore-only stream so the run RNG stays
+// at its captured position. The Fenwick tree is rebuilt from the counts.
+func (e *rankEngine) loadSnapshotAdjacency(adjData []byte) error {
+	prioRnd := rng.Split(e.seed, restorePrioSplit+e.c.Rank())
+	counts := make([]int64, len(e.verts))
+	var keys []graph.Vertex
+	var origs []bool
+	var prios []uint32
+	var err error
+	for li := range e.verts {
+		keys, origs, adjData, err = graph.DecodeAdjSet(adjData, e.verts[li], keys[:0], origs[:0])
+		if err != nil {
+			return err
+		}
+		prios = prios[:0]
+		for range keys {
+			prios = append(prios, prioRnd.Uint32())
+		}
+		e.adj[li].BuildSortedFlagged(&e.arena, keys, prios, origs)
+		counts[li] = int64(len(keys))
+	}
+	if len(adjData) != 0 {
+		return fmt.Errorf("core: snapshot carries %d trailing adjacency bytes", len(adjData))
+	}
+	e.deg = graph.NewFenwickFrom(counts)
+	return nil
+}
+
+// validateSnapshot cross-checks the decoded header against this rank's
+// world and run identity; any mismatch means the checkpoint belongs to a
+// different run and must not be resumed.
+func (e *rankEngine) validateSnapshot(s *snapState, algo Algorithm) error {
+	switch {
+	case s.rank != e.c.Rank() || s.size != e.c.Size():
+		return fmt.Errorf("core: snapshot is for rank %d of %d, this is rank %d of %d", s.rank, s.size, e.c.Rank(), e.c.Size())
+	case s.n != e.n:
+		return fmt.Errorf("core: snapshot has %d vertices, this run has %d", s.n, e.n)
+	case s.nv != len(e.verts):
+		return fmt.Errorf("core: snapshot holds %d local vertices, this partition owns %d", s.nv, len(e.verts))
+	case s.seed != e.seed:
+		return fmt.Errorf("core: snapshot was taken under seed %d, this run uses %d", s.seed, e.seed)
+	case s.algo != snapAlgoByte(algo):
+		return fmt.Errorf("core: snapshot algorithm byte %d does not match configured algorithm %q", s.algo, algo)
+	}
+	return nil
+}

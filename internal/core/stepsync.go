@@ -48,15 +48,52 @@ func (e *rankEngine) noteDegree(ed graph.Edge, d int32) {
 // degree deltas cancel; any violation is reported with the same
 // actionable formatting as the full sanitizer. Deltas for the final
 // step are covered by verifyBaseline at the end of the run.
+//
+// Unchecked runs take an allocation-free fast path: noteDegree never
+// populated e.degDelta, so every payload is the bare 20-byte header and
+// the drift accounting (a map plus a decoded delta vector per rank,
+// every boundary) would be pure overhead. The encode/decode helpers of
+// that path are hot-path roots, so hotalloc keeps it clean.
 func (e *rankEngine) stepExchange() ([]int64, int64, error) {
-	parts, err := e.c.Allgather(e.encodeStepLocal())
+	if e.sanitize {
+		return e.stepExchangeChecked()
+	}
+	parts, err := e.c.Allgather(e.encodeStepFast())
 	if err != nil {
 		return nil, 0, err
 	}
-	var vg violations
-	if e.sanitize {
-		vg.list = e.sanitizeLocal()
+	if cap(e.stepCounts) < len(parts) {
+		e.stepCounts = make([]int64, len(parts))
 	}
+	counts := e.stepCounts[:len(parts)]
+	var total, origs int64
+	for rank, pb := range parts {
+		cnt, org, err := decodeStepCounts(pb)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: rank %d step exchange: bad payload from rank %d: %w", e.c.Rank(), rank, err)
+		}
+		counts[rank] = cnt
+		total += cnt
+		origs += org
+	}
+	if total != e.m {
+		return nil, 0, fmt.Errorf("core: edge count drifted: %d != %d", total, e.m)
+	}
+	return counts, origs, nil
+}
+
+// stepExchangeChecked is the sanitized boundary exchange: payloads carry
+// the sparse degree deltas and the ranks verify they cancel exactly.
+func (e *rankEngine) stepExchangeChecked() ([]int64, int64, error) {
+	// The deltas describe only the steps since the previous boundary;
+	// once encoded and gathered they are consumed, violation or not — a
+	// caller retrying after an error must not double-count them.
+	defer clear(e.degDelta)
+	parts, err := e.c.Allgather(e.encodeStepDeltas())
+	if err != nil {
+		return nil, 0, err
+	}
+	vg := violations{list: e.sanitizeLocal()}
 	counts := make([]int64, len(parts))
 	var total, origs int64
 	drift := make(map[graph.Vertex]int64)
@@ -73,11 +110,7 @@ func (e *rankEngine) stepExchange() ([]int64, int64, error) {
 		}
 	}
 	if total != e.m {
-		if e.sanitize {
-			vg.addf(VEdgeCount, "edge count %d != invariant %d: a switch lost or invented an edge", total, e.m)
-		} else {
-			return nil, 0, fmt.Errorf("core: edge count drifted: %d != %d", total, e.m)
-		}
+		vg.addf(VEdgeCount, "edge count %d != invariant %d: a switch lost or invented an edge", total, e.m)
 	}
 	if len(drift) > 0 {
 		vs := make([]graph.Vertex, 0, len(drift))
@@ -94,16 +127,43 @@ func (e *rankEngine) stepExchange() ([]int64, int64, error) {
 	if len(vg.list) > 0 {
 		return nil, 0, fmt.Errorf("core: rank %d invariant sanitizer: %s", e.c.Rank(), summarize(vg.list))
 	}
-	if e.sanitize {
-		clear(e.degDelta)
-	}
 	return counts, origs, nil
 }
 
-// encodeStepLocal serializes this rank's contribution to the exchange:
-// its edge count, its originals count, and every accumulated nonzero
-// degree delta.
-func (e *rankEngine) encodeStepLocal() []byte {
+// encodeStepFast writes the unchecked exchange payload — edge count,
+// originals count, zero deltas — into the engine's reused buffer.
+//
+//es:hotpath encodeStepFast runs at every step boundary of unchecked runs.
+func (e *rankEngine) encodeStepFast() []byte {
+	buf := e.stepBuf[:20]
+	binary.LittleEndian.PutUint64(buf[0:], uint64(e.deg.Total()))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(e.origLocal))
+	binary.LittleEndian.PutUint32(buf[16:], 0)
+	return buf
+}
+
+// decodeStepCounts reads the edge and originals counts of one payload
+// without materializing its delta vector (the unchecked fast path; in
+// those runs k is always 0, but the length is validated regardless).
+//
+//es:hotpath decodeStepCounts runs p times per boundary of unchecked runs.
+func decodeStepCounts(pb []byte) (int64, int64, error) {
+	if len(pb) < 20 {
+		return 0, 0, fmt.Errorf("truncated step payload (%d bytes)", len(pb))
+	}
+	cnt := int64(binary.LittleEndian.Uint64(pb[0:]))
+	origs := int64(binary.LittleEndian.Uint64(pb[8:]))
+	k := int(binary.LittleEndian.Uint32(pb[16:]))
+	if len(pb) != 20+8*k {
+		return 0, 0, fmt.Errorf("step payload length %d does not match %d deltas", len(pb), k)
+	}
+	return cnt, origs, nil
+}
+
+// encodeStepDeltas serializes a sanitized rank's contribution to the
+// exchange: its edge count, its originals count, and every accumulated
+// nonzero degree delta.
+func (e *rankEngine) encodeStepDeltas() []byte {
 	touched := make([]graph.Vertex, 0, len(e.degDelta))
 	for v, d := range e.degDelta {
 		if d != 0 {

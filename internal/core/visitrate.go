@@ -46,6 +46,14 @@ func ExpectedEdgesSwitched(m int64, x float64) (float64, error) {
 		return 0, nil
 	}
 	remaining := int64(math.Round(float64(m) * (1 - x)))
+	if remaining >= m {
+		// Rounding pushed the unvisited count back up to m (small m with a
+		// small nonzero x, e.g. m=10, x=0.05): E[T] would be 0 and the run
+		// would silently do nothing despite a positive target. One edge
+		// must be visited for any x > 0, so clamp to m−1 — which makes
+		// E[T] = m·(H_m − H_{m−1}) = 1, i.e. at least one selection.
+		remaining = m - 1
+	}
 	return float64(m) * (harmonic(m) - harmonic(remaining)), nil
 }
 

@@ -74,6 +74,43 @@ func TestExpectedEdgesSwitchedEdgeCases(t *testing.T) {
 	}
 }
 
+// TestOpsForVisitRateSmallTargets pins the rounding clamp: a small
+// nonzero x on a small m used to round `remaining` back up to m, making
+// E[T] = 0 and silently doing no work (e.g. -x 0.05 on m=10). Any
+// positive target must cost at least one operation.
+func TestOpsForVisitRateSmallTargets(t *testing.T) {
+	cases := []struct {
+		m      int64
+		x      float64
+		minOps int64
+	}{
+		{m: 10, x: 0.05, minOps: 1},   // round(10·0.95) = 10: the reported bug
+		{m: 10, x: 0.04, minOps: 1},   // even further below half an edge
+		{m: 1, x: 0.5, minOps: 1},     // single-edge graph
+		{m: 1, x: 1, minOps: 1},       // single edge, full visit
+		{m: 3, x: 0.1, minOps: 1},     // round(3·0.9) = 3
+		{m: 100, x: 0.001, minOps: 1}, // round(100·0.999) = 100
+		{m: 1000000, x: 1e-9, minOps: 1},
+		{m: 10, x: 0.1, minOps: 1}, // round(9) = 9 < 10: unclamped path still ≥ 1
+	}
+	for _, c := range cases {
+		ops, err := OpsForVisitRate(c.m, c.x)
+		if err != nil {
+			t.Fatalf("m=%d x=%v: %v", c.m, c.x, err)
+		}
+		if ops < c.minOps {
+			t.Errorf("m=%d x=%v: got %d ops, want >= %d", c.m, c.x, ops, c.minOps)
+		}
+	}
+	// The zero cases stay zero: clamping must not invent work.
+	if ops, err := OpsForVisitRate(10, 0); err != nil || ops != 0 {
+		t.Fatalf("x=0: (%d,%v)", ops, err)
+	}
+	if ops, err := OpsForVisitRate(0, 0.5); err != nil || ops != 0 {
+		t.Fatalf("m=0: (%d,%v)", ops, err)
+	}
+}
+
 func TestOpsForVisitRateMonotone(t *testing.T) {
 	const m = int64(100000)
 	prev := int64(-1)

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compact adjacency serialization for checkpoints: one reduced adjacency
+// list is encoded as a uvarint entry count followed by one uvarint per
+// entry, (gap << 1) | originalFlag, where gap is the key's distance from
+// its predecessor (the owner vertex for the first entry). Reduced
+// adjacencies hold strictly ascending neighbours > owner, so every gap
+// is >= 1 and small keys cost one byte; a partition round-trips in a
+// fraction of the 9-byte-per-edge wire records. Treap priorities are
+// deliberately NOT encoded: uniform edge selection goes through
+// key-order statistics (Fenwick prefix + Kth), so priorities shape only
+// the treap's internal form, and a restore may draw fresh ones.
+
+// AppendAdjSet appends the encoding of s (owned by owner) to buf and
+// returns the extended slice.
+func (s *AdjSet) AppendAdjSet(buf []byte, owner Vertex) []byte {
+	buf = binary.AppendUvarint(buf, uint64(s.Len()))
+	prev := owner
+	s.Walk(func(v Vertex, orig bool) bool {
+		gap := uint64(v-prev) << 1
+		if orig {
+			gap |= 1
+		}
+		buf = binary.AppendUvarint(buf, gap)
+		prev = v
+		return true
+	})
+	return buf
+}
+
+// DecodeAdjSet decodes one adjacency list encoded by AppendAdjSet from
+// the front of data, appending the keys and original flags to the given
+// scratch slices (pass them back in across slots to amortize growth).
+// It returns the filled slices and the remaining bytes.
+func DecodeAdjSet(data []byte, owner Vertex, keys []Vertex, origs []bool) ([]Vertex, []bool, []byte, error) {
+	cnt, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, nil, fmt.Errorf("graph: truncated adjacency count for vertex %d", owner)
+	}
+	data = data[n:]
+	prev := owner
+	for i := uint64(0); i < cnt; i++ {
+		g, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, nil, nil, fmt.Errorf("graph: truncated adjacency entry %d of vertex %d", i, owner)
+		}
+		data = data[n:]
+		gap := Vertex(g >> 1)
+		if gap < 1 {
+			return nil, nil, nil, fmt.Errorf("graph: non-ascending adjacency entry %d of vertex %d", i, owner)
+		}
+		prev += gap
+		keys = append(keys, prev)
+		origs = append(origs, g&1 == 1)
+	}
+	return keys, origs, data, nil
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"edgeswitch/internal/rng"
+)
+
+// TestAdjCodecRoundTrip: random reduced adjacencies survive
+// AppendAdjSet → DecodeAdjSet → BuildSortedFlagged with keys, flags and
+// originals count intact — the checkpoint snapshot load path.
+func TestAdjCodecRoundTrip(t *testing.T) {
+	r := rng.New(21)
+	var keys []Vertex
+	var origs []bool
+	for trial := 0; trial < 200; trial++ {
+		owner := Vertex(r.Intn(1000))
+		n := r.Intn(50)
+		var src AdjSet
+		want := map[Vertex]bool{}
+		for len(want) < n {
+			// Reduced adjacency: neighbours strictly greater than owner.
+			v := owner + 1 + Vertex(r.Intn(2000))
+			if _, ok := want[v]; ok {
+				continue
+			}
+			want[v] = r.Bool()
+			src.Insert(v, want[v], uint32(r.Uint64()))
+		}
+
+		buf := src.AppendAdjSet(nil, owner)
+		keys, origs = keys[:0], origs[:0]
+		keys, origs, rest, err := DecodeAdjSet(buf, owner, keys, origs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(rest))
+		}
+		if len(keys) != n {
+			t.Fatalf("trial %d: decoded %d entries, want %d", trial, len(keys), n)
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("trial %d: decoded keys not ascending", trial)
+		}
+		wantOrigs := 0
+		for i, k := range keys {
+			flag, ok := want[k]
+			if !ok || flag != origs[i] {
+				t.Fatalf("trial %d: entry %d = (%d, %v) not in source set", trial, i, k, origs[i])
+			}
+			if flag {
+				wantOrigs++
+			}
+		}
+
+		var dst AdjSet
+		prios := make([]uint32, len(keys))
+		for i := range prios {
+			prios[i] = uint32(r.Uint64())
+		}
+		dst.BuildSortedFlagged(nil, keys, prios, origs)
+		if dst.Len() != n || dst.Originals() != wantOrigs {
+			t.Fatalf("trial %d: rebuilt Len=%d Originals=%d, want %d/%d",
+				trial, dst.Len(), dst.Originals(), n, wantOrigs)
+		}
+		i := 0
+		dst.Walk(func(v Vertex, orig bool) bool {
+			if v != keys[i] || orig != origs[i] {
+				t.Fatalf("trial %d: rebuilt entry %d = (%d, %v), want (%d, %v)",
+					trial, i, v, orig, keys[i], origs[i])
+			}
+			i++
+			return true
+		})
+	}
+}
+
+// TestAdjCodecMultipleSets: several adjacency lists concatenated into
+// one buffer (the snapshot layout) decode back in sequence, each
+// consuming exactly its own bytes.
+func TestAdjCodecMultipleSets(t *testing.T) {
+	owners := []Vertex{0, 3, 7, 8}
+	lists := [][]Vertex{{1, 2, 9}, {4, 1000}, {}, {9}}
+	var buf []byte
+	for i, owner := range owners {
+		var s AdjSet
+		for _, v := range lists[i] {
+			s.Insert(v, v%2 == 0, 1)
+		}
+		buf = s.AppendAdjSet(buf, owner)
+	}
+	rest := buf
+	for i, owner := range owners {
+		var keys []Vertex
+		var origs []bool
+		var err error
+		keys, origs, rest, err = DecodeAdjSet(rest, owner, keys, origs)
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		if len(keys) != len(lists[i]) {
+			t.Fatalf("slot %d: %d entries, want %d", i, len(keys), len(lists[i]))
+		}
+		for j, v := range keys {
+			if v != lists[i][j] || origs[j] != (v%2 == 0) {
+				t.Fatalf("slot %d entry %d: (%d, %v)", i, j, v, origs[j])
+			}
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after all slots", len(rest))
+	}
+}
+
+// TestAdjCodecRejectsCorruption: truncation and non-ascending gaps are
+// decode errors, never silent misreads.
+func TestAdjCodecRejectsCorruption(t *testing.T) {
+	var s AdjSet
+	s.Insert(5, true, 1)
+	s.Insert(9, false, 2)
+	buf := s.AppendAdjSet(nil, 2)
+
+	if _, _, _, err := DecodeAdjSet(buf[:len(buf)-1], 2, nil, nil); err == nil {
+		t.Fatal("truncated entry accepted")
+	}
+	if _, _, _, err := DecodeAdjSet(nil, 2, nil, nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+	// A zero gap encodes a non-ascending (duplicate) neighbour.
+	bad := append([]byte(nil), buf...)
+	bad[1] = 0
+	if _, _, _, err := DecodeAdjSet(bad, 2, nil, nil); err == nil {
+		t.Fatal("zero gap accepted")
+	}
+}

@@ -237,6 +237,35 @@ func rotateLeft(n *treapNode) *treapNode {
 // construction), and subtree sizes are finalized exactly once, when a
 // node leaves the spine. Every entry gets the original flag.
 func (s *AdjSet) BuildSorted(a *NodeArena, keys []Vertex, prios []uint32, original bool) {
+	s.buildSorted(a, keys, prios, nil, original)
+	if original {
+		s.origs = int32(len(keys))
+	}
+}
+
+// BuildSortedFlagged is BuildSorted with a per-entry original flag:
+// origs[i] is entry i's flag, and the set's originals counter is the
+// number of set flags. This is the snapshot-restore load path, where a
+// partition's entries carry the flags they had when the checkpoint was
+// taken rather than one uniform load-time value.
+func (s *AdjSet) BuildSortedFlagged(a *NodeArena, keys []Vertex, prios []uint32, origs []bool) {
+	if len(origs) != len(keys) {
+		panic("graph: BuildSortedFlagged flag count != key count")
+	}
+	s.buildSorted(a, keys, prios, origs, false)
+	var cnt int32
+	for _, o := range origs {
+		if o {
+			cnt++
+		}
+	}
+	s.origs = cnt
+}
+
+// buildSorted is the shared spine construction: flags[i] gives entry i's
+// original flag when flags is non-nil, uniform otherwise. Callers set
+// s.origs themselves.
+func (s *AdjSet) buildSorted(a *NodeArena, keys []Vertex, prios []uint32, flags []bool, uniform bool) {
 	if len(keys) == 0 {
 		return
 	}
@@ -251,7 +280,11 @@ func (s *AdjSet) BuildSorted(a *NodeArena, keys []Vertex, prios []uint32, origin
 		if i > 0 && keys[i-1] >= k {
 			panic("graph: BuildSorted keys not strictly ascending")
 		}
-		nn := a.get(k, original, prios[i])
+		orig := uniform
+		if flags != nil {
+			orig = flags[i]
+		}
+		nn := a.get(k, orig, prios[i])
 		// Nodes the new maximum displaces from the spine become its left
 		// subtree; their sizes are final the moment they come off.
 		var last *treapNode
@@ -272,9 +305,6 @@ func (s *AdjSet) BuildSorted(a *NodeArena, keys []Vertex, prios []uint32, origin
 	}
 	if a != nil {
 		a.spine = spine[:0]
-	}
-	if original {
-		s.origs += int32(len(keys))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +102,33 @@ func (pw *ProcWorld) Rank() int { return pw.rank }
 // Size reports the world size.
 func (pw *ProcWorld) Size() int { return pw.size }
 
+// LostRanks reports the ranks this process has observed as lost, in
+// ascending order. On rank 0 it is the coordinator's authoritative fault
+// record; on other ranks it is the set announced by FAULT control frames
+// (empty if the loss surfaced only as a dead coordinator connection).
+// The recovery layer uses it to decide which workers to replace before
+// restarting the world from a checkpoint.
+func (pw *ProcWorld) LostRanks() []int {
+	var lost []int
+	if pw.hub != nil {
+		pw.hub.mu.Lock()
+		for r, f := range pw.hub.faulted {
+			if f {
+				lost = append(lost, r)
+			}
+		}
+		pw.hub.mu.Unlock()
+		return lost
+	}
+	pw.client.lostMu.Lock()
+	for r := range pw.client.lost {
+		lost = append(lost, r)
+	}
+	pw.client.lostMu.Unlock()
+	sort.Ints(lost)
+	return lost
+}
+
 // Run executes body with this process's Comm. Unlike World.Run it runs
 // exactly one rank; the peers run in their own processes.
 func (pw *ProcWorld) Run(body func(c *Comm) error) error {
@@ -140,6 +168,9 @@ type distClient struct {
 	wg           sync.WaitGroup
 	closing      atomic.Bool
 	faultCnt     atomic.Int64
+
+	lostMu sync.Mutex
+	lost   map[int]bool // ranks announced lost by FAULT frames
 }
 
 // testDialWrap, when non-nil, wraps every freshly handshaken client
@@ -153,7 +184,10 @@ var testDialWrap func(rank int, conn net.Conn) net.Conn
 // may die between accepting and acking (transient mid-handshake failure).
 // Only an explicit rejection by a live coordinator (ErrHandshake: version
 // mismatch, duplicate rank, size disagreement) is permanent and fails
-// immediately; retrying cannot change its mind.
+// immediately; retrying cannot change its mind. A joinClosed answer
+// (errJoinClosed) is transient like a refused connection: a recovering
+// world restarts its coordinator on the same address, so a replacement
+// rank dialing during teardown retries until the new hub is up.
 func dialDist(rank, size int, addr string, box *mailbox, timeout, wto time.Duration) (*distClient, error) {
 	deadline := time.Now().Add(timeout)
 	// The first retry comes after 1ms (fast startup when the coordinator
@@ -231,6 +265,12 @@ func (c *distClient) readLoop() {
 		}
 		if tag := frameTag(frame); tag == wireTagFault {
 			c.faultCnt.Add(1)
+			c.lostMu.Lock()
+			if c.lost == nil {
+				c.lost = make(map[int]bool)
+			}
+			c.lost[peer] = true
+			c.lostMu.Unlock()
 			c.box.fail(fmt.Errorf("%w: rank %d: %s", ErrPeerLost, peer, framePayload(frame)))
 			continue // keep draining; the loop ends when the conn closes
 		} else {
@@ -359,6 +399,16 @@ func (h *distHub) admit(conn net.Conn) {
 		h.mu.Lock()
 		switch {
 		case h.closed:
+			status = joinClosed
+		case h.anyFault:
+			// The world already lost a member: it is doomed, and the
+			// recovery layer (cmd/esworker's rollback loop) will tear it
+			// down and restart the coordinator on the same address.
+			// Admitting the joiner now — a replacement for the lost rank,
+			// or a survivor re-dialing early — would only wedge it in the
+			// dying world, or reject it permanently as a duplicate.
+			// joinClosed is transient on the dialer side, so it retries
+			// against the restarted hub instead.
 			status = joinClosed
 		case h.writers[rank] != nil || h.pending[rank]:
 			status = joinDupRank

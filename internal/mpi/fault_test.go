@@ -463,3 +463,130 @@ func TestReconnectMidHandshake(t *testing.T) {
 		}
 	}
 }
+
+// TestReplacementJoinWaitsForRestartedHub pins the recovery handshake:
+// once a world has lost a member, its hub answers every join attempt
+// with joinClosed — transient on the dialer side — so a replacement for
+// the lost rank spins instead of being rejected permanently (or, worse,
+// admitted into the doomed world as a duplicate). When the recovery
+// layer restarts the coordinator on the same address, the replacement's
+// pending dial joins the fresh world.
+func TestReplacementJoinWaitsForRestartedHub(t *testing.T) {
+	addr := freeAddr(t)
+	worlds, errs := joinWorld(t, addr, 3)
+	defer closeWorlds(worlds)
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", rank, err)
+		}
+	}
+
+	// Kill rank 2 abruptly: no LEAVE, so the hub must declare it lost.
+	_ = worlds[2].client.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(worlds[0].LostRanks()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lost := worlds[0].LostRanks(); len(lost) != 1 || lost[0] != 2 {
+		t.Fatalf("coordinator LostRanks = %v, want [2]", lost)
+	}
+	// The survivor learns the same set from the FAULT broadcast.
+	for time.Now().Before(deadline) {
+		if lost := worlds[1].LostRanks(); len(lost) == 1 && lost[0] == 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lost := worlds[1].LostRanks(); len(lost) != 1 || lost[0] != 2 {
+		t.Fatalf("survivor LostRanks = %v, want [2]", lost)
+	}
+
+	// A short-deadline retry against the doomed world exhausts its
+	// deadline on the transient joinClosed; it is neither admitted nor
+	// rejected for good (the reported error is whichever transient
+	// failure the final attempt hit, so only its class is asserted).
+	if _, err := JoinDistributed(2, 3, addr, 300*time.Millisecond); err == nil {
+		t.Fatal("join against a faulted world was admitted")
+	} else if errors.Is(err, ErrHandshake) {
+		t.Fatalf("join against a faulted world was permanently rejected: %v", err)
+	}
+
+	// A patient replacement spins while the old world tears down and the
+	// coordinator restarts on the same address.
+	type joinResult struct {
+		pw  *ProcWorld
+		err error
+	}
+	repl := make(chan joinResult, 1)
+	go func() {
+		pw, err := JoinDistributed(2, 3, addr, 10*time.Second)
+		repl <- joinResult{pw, err}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	select {
+	case j := <-repl:
+		t.Fatalf("replacement joined a doomed world: (%v, %v)", j.pw, j.err)
+	default:
+	}
+	_ = worlds[1].Close()
+	_ = worlds[0].Close()
+	worlds[0], worlds[1], worlds[2] = nil, nil, nil
+
+	// The restarted world: fresh ranks 0 and 1 plus the already-spinning
+	// replacement as rank 2.
+	fresh := make([]*ProcWorld, 2)
+	ferrs := make([]error, 2)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fresh[rank], ferrs[rank] = JoinDistributed(rank, 3, addr, 10*time.Second)
+		}(rank)
+	}
+	wg.Wait()
+	defer closeWorlds(fresh)
+	for rank, err := range ferrs {
+		if err != nil {
+			t.Fatalf("restarted rank %d join: %v", rank, err)
+		}
+	}
+	j := <-repl
+	if j.err != nil {
+		t.Fatalf("replacement join after hub restart: %v", j.err)
+	}
+	defer j.pw.Close()
+
+	// The rebuilt world must be fully functional end to end.
+	all := []*ProcWorld{fresh[0], fresh[1], j.pw}
+	runErrs := make([]error, 3)
+	for rank, pw := range all {
+		wg.Add(1)
+		go func(rank int, pw *ProcWorld) {
+			defer wg.Done()
+			runErrs[rank] = pw.Run(func(c *Comm) error {
+				if c.Rank() != 0 {
+					return c.Send(0, 7, []byte{byte(c.Rank())})
+				}
+				seen := map[int]bool{}
+				for i := 0; i < 2; i++ {
+					m, err := c.Recv(AnySource, 7)
+					if err != nil {
+						return err
+					}
+					seen[m.Src] = true
+				}
+				if !seen[1] || !seen[2] {
+					return fmt.Errorf("rank 0 heard from %v, want ranks 1 and 2", seen)
+				}
+				return nil
+			})
+		}(rank, pw)
+	}
+	wg.Wait()
+	for rank, err := range runErrs {
+		if err != nil {
+			t.Fatalf("rebuilt world rank %d: %v", rank, err)
+		}
+	}
+}

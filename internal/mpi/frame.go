@@ -69,6 +69,14 @@ var (
 	ErrHandshake = errors.New("mpi: handshake rejected")
 )
 
+// errJoinClosed reports a joinClosed ack: the coordinator is shutting
+// down — or its world has already lost a member and is about to be torn
+// down and rebuilt by the recovery layer (see the hub's admit). Unlike
+// the ErrHandshake rejections this is transient: a recovering run
+// restarts its coordinator on the same address, so the dialer keeps
+// retrying until its deadline instead of failing permanently.
+var errJoinClosed = errors.New("mpi: coordinator not accepting joins")
+
 // Join-rejection status codes carried in the handshake ack.
 const (
 	joinOK = iota
@@ -215,7 +223,8 @@ func writeAck(w io.Writer, status uint32) error {
 }
 
 // readAck reads the hub's handshake reply. A non-OK status comes back as
-// an ErrHandshake-wrapped error (permanent — retrying cannot help); a
+// an ErrHandshake-wrapped error (permanent — retrying cannot help),
+// except joinClosed, which maps to the transient errJoinClosed; a
 // malformed or short ack comes back as the underlying I/O error
 // (transient — the hub may have died mid-handshake, redialing can help).
 func readAck(r io.Reader) error {
@@ -227,8 +236,12 @@ func readAck(r io.Reader) error {
 		binary.LittleEndian.Uint32(ack[4:]) != wireVersion {
 		return fmt.Errorf("%w: malformed coordinator ack", ErrHandshake)
 	}
-	if status := binary.LittleEndian.Uint32(ack[8:]); status != joinOK {
+	switch status := binary.LittleEndian.Uint32(ack[8:]); status {
+	case joinOK:
+		return nil
+	case joinClosed:
+		return errJoinClosed
+	default:
 		return fmt.Errorf("%w: %s", ErrHandshake, joinStatusText(status))
 	}
-	return nil
 }

@@ -111,18 +111,29 @@ func TestHandshakeCodec(t *testing.T) {
 		t.Fatal("garbage hello accepted")
 	}
 
-	// Ack round trip: OK passes, every rejection maps to ErrHandshake.
+	// Ack round trip: OK passes, every permanent rejection maps to
+	// ErrHandshake, and joinClosed maps to the transient errJoinClosed
+	// (a recovering world restarts its coordinator, so dialers retry it).
 	buf.Reset()
 	_ = writeAck(&buf, joinOK)
 	if err := readAck(&buf); err != nil {
 		t.Fatalf("ok ack: %v", err)
 	}
-	for _, status := range []uint32{joinBadVersion, joinBadRank, joinDupRank, joinSizeMismatch, joinClosed} {
+	for _, status := range []uint32{joinBadVersion, joinBadRank, joinDupRank, joinSizeMismatch} {
 		buf.Reset()
 		_ = writeAck(&buf, status)
 		if err := readAck(&buf); !errors.Is(err, ErrHandshake) {
 			t.Fatalf("status %d: err = %v, want ErrHandshake", status, err)
 		}
+	}
+	buf.Reset()
+	_ = writeAck(&buf, joinClosed)
+	closedErr := readAck(&buf)
+	if !errors.Is(closedErr, errJoinClosed) {
+		t.Fatalf("joinClosed: err = %v, want errJoinClosed", closedErr)
+	}
+	if errors.Is(closedErr, ErrHandshake) {
+		t.Fatal("joinClosed must not be a permanent handshake rejection")
 	}
 }
 

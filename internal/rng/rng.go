@@ -13,6 +13,7 @@
 package rng
 
 import (
+	"errors"
 	"math"
 	"math/bits"
 )
@@ -63,6 +64,23 @@ func Split(seed uint64, i int) *RNG {
 		splitMix64(&sm)
 	}
 	return New(splitMix64(&sm) ^ uint64(i)*0xd1342543de82ef95)
+}
+
+// State returns the generator's four state words, for checkpointing.
+// Restoring them with SetState resumes the stream exactly where it was:
+// the next Uint64 after a SetState(State()) round trip is the same value
+// the original generator would have produced.
+func (r *RNG) State() [4]uint64 { return [4]uint64{r.s0, r.s1, r.s2, r.s3} }
+
+// SetState overwrites the generator state with previously captured state
+// words (see State). An all-zero state is invalid for xoshiro and is
+// rejected.
+func (r *RNG) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("rng: SetState with all-zero state")
+	}
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
