@@ -7,7 +7,7 @@ GO ?= go
 # slower and adds nothing — everything else is single-goroutine).
 RACE_PKGS := ./internal/mpi/... ./internal/core/...
 
-.PHONY: check build vet esvet test race racedist bench benchsmoke largesmoke clean
+.PHONY: check build vet esvet test race racedist bench benchsmoke largesmoke spillsmoke clean
 
 check: build vet esvet test race racedist
 
@@ -54,15 +54,21 @@ bench:
 # randomizer-seam guard (pa/mem/p2 to x=0.9), failing if either
 # algorithm misses the target visit rate, the deterministic curveball
 # trajectory drifts from BENCH_curveball.json, or transport sends
-# regress >2x. CI runs this so benchmark, controller, and generator rot
-# is caught early.
+# regress >2x, and one replay of the out-of-core guard slice (pa n=100k
+# p=8, in-memory vs tiered store under the committed memory cap),
+# failing if the deterministic edge fingerprint drifts or the capped
+# spill slowdown exceeds twice the committed BENCH_outofcore.json
+# ratio. CI runs this so benchmark, controller, generator, and store
+# rot is caught early.
 benchsmoke:
 	$(GO) test -short -run=^$$ -bench=BenchmarkEngineStep -benchtime=1x ./internal/core/
 	$(GO) test -short -run=^$$ -bench=BenchmarkGenerate -benchtime=1x ./internal/core/
 	$(GO) test -short -run=^$$ -bench='BenchmarkRandomizer/.*/pa/mem/p2$$' -benchtime=1x ./internal/core/
+	$(GO) test -short -run=^$$ -bench=BenchmarkOutOfCore -benchtime=1x ./internal/core/
 	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokeAdaptiveRegression$$' -v ./internal/core/
 	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokePergenRegression$$' -v ./internal/core/
 	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokeCurveballRegression$$' -v ./internal/core/
+	BENCHSMOKE=1 $(GO) test -run='^TestBenchsmokeOutOfCoreRegression$$' -v ./internal/core/
 
 # Large-graph smokes: a >=10^7-edge preferential-attachment graph
 # through the communication-free bootstrap at p=8, pinned to the exact
@@ -71,6 +77,14 @@ benchsmoke:
 # -timeout.
 largesmoke:
 	ESLARGE=1 $(GO) test -run='^TestLargeGenSmoke$$|^TestLargeCurveballSmoke$$' -v -timeout 10m ./internal/core/
+
+# Out-of-core smoke: the same >=10^7-edge PA graph, two curveball
+# rounds at p=8, run fully in-memory and then through the tiered mmap
+# store under a soft memory limit of half the sampled in-memory heap
+# peak. The capped run must complete and end bit-identical (curveball
+# is deterministic); time-boxed by the -timeout.
+spillsmoke:
+	ESSPILL=1 $(GO) test -run='^TestSpillSmoke$$' -v -timeout 30m ./internal/core/
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"edgeswitch"
 	"edgeswitch/internal/metrics"
@@ -40,12 +41,15 @@ func main() {
 		useTCP  = flag.Bool("tcp", false, "route parallel messages over loopback TCP")
 		adapt   = flag.Bool("adaptive", false, "tune each rank's op-pipelining window from observed abort rates (AIMD)")
 		quiet   = flag.Bool("q", false, "suppress the per-rank table")
+		verbose = flag.Bool("v", false, "print extra run counters (spill/compaction stats with -spill-dir)")
 		mode    = flag.String("mode", "plain", "constraint mode: plain, connected, bipartite, jdd (sequential only)")
 		left    = flag.Int("left", 0, "bipartition size (bipartite mode: vertices 0..left-1 are one side)")
+		spill   = flag.String("spill-dir", "", "spill each parallel rank's partition to an mmap'd segment under this directory (tiered out-of-core store; bounded memory)")
+		overlay = flag.Int64("overlay-budget", 0, "per-rank overlay entry cap before compaction with -spill-dir (0: auto)")
 	)
 	flag.Parse()
 
-	if err := run(*inPath, *dataset, *scale, *genMod, *genN, *genD, *outPath, *tOps, *x, *ranks, *scheme, *algo, *steps, *seed, *useTCP, *adapt, *quiet, *mode, *left); err != nil {
+	if err := run(*inPath, *dataset, *scale, *genMod, *genN, *genD, *outPath, *tOps, *x, *ranks, *scheme, *algo, *steps, *seed, *useTCP, *adapt, *quiet, *verbose, *mode, *left, *spill, *overlay); err != nil {
 		fmt.Fprintln(os.Stderr, "edgeswitch:", err)
 		os.Exit(1)
 	}
@@ -65,7 +69,8 @@ func genSpec(model string, n, d int, seed uint64) (*edgeswitch.GenSpec, error) {
 }
 
 func run(inPath, dataset string, scale float64, genMod string, genN, genD int, outPath string, tOps int64, x float64,
-	ranks int, scheme, algo string, steps int64, seed uint64, useTCP, adaptive, quiet bool, mode string, left int) error {
+	ranks int, scheme, algo string, steps int64, seed uint64, useTCP, adaptive, quiet, verbose bool, mode string, left int,
+	spillDir string, overlayBudget int64) error {
 
 	if algo != "" && algo != string(edgeswitch.EdgeSwitch) && mode != "" && mode != "plain" {
 		return fmt.Errorf("mode %q supports only the edge-switch algorithm", mode)
@@ -151,6 +156,8 @@ func run(inPath, dataset string, scale float64, genMod string, genN, genD int, o
 			UseTCP:         useTCP,
 			AdaptiveWindow: adaptive,
 			Gen:            spec,
+			SpillDir:       spillDir,
+			OverlayBudget:  overlayBudget,
 		})
 	case "connected":
 		rep, err = edgeswitch.RunConnected(g, t, seed)
@@ -168,6 +175,11 @@ func run(inPath, dataset string, scale float64, genMod string, genN, genD int, o
 	fmt.Printf("completed %d ops (%d restarts, %d forfeited) in %v\n",
 		rep.Ops, rep.Restarts, rep.Forfeited, rep.Elapsed)
 	fmt.Printf("observed visit rate: %.6f\n", rep.VisitRate)
+	if verbose && rep.Parallel != nil && spillDir != "" {
+		p := rep.Parallel
+		fmt.Printf("spill: base %d B | overlay high-water %d entries | %d compactions (%v)\n",
+			p.SpillBaseBytes, p.SpillOverlayHWM, p.SpillCompactions, time.Duration(p.SpillCompactNs))
+	}
 	if rep.Parallel != nil && !quiet {
 		fmt.Println("rank\tvertices\tedges0\tedgesN\tops\trestarts\twinmax")
 		for i := range rep.Parallel.RankOps {

@@ -75,6 +75,8 @@ type workerOpts struct {
 	ckEvery      int64
 	restore      bool
 	maxRollbacks int
+	spillDir     string
+	overlay      int64
 }
 
 func main() {
@@ -100,6 +102,8 @@ func main() {
 	flag.Int64Var(&o.ckEvery, "checkpoint-every", 1, "checkpoint every k-th step boundary (with -checkpoint-dir)")
 	flag.BoolVar(&o.restore, "restore", false, "resume from the newest restorable checkpoint in -checkpoint-dir before switching")
 	flag.IntVar(&o.maxRollbacks, "max-rollbacks", 3, "lost-peer rollback recoveries to attempt before failing (with -checkpoint-dir)")
+	flag.StringVar(&o.spillDir, "spill-dir", "", "spill this rank's partition to an mmap'd segment under this directory (tiered out-of-core store; safe to share across ranks — each uses its own subdirectory)")
+	flag.Int64Var(&o.overlay, "overlay-budget", 0, "overlay entry cap before compaction with -spill-dir (0: auto)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "esworker[%d]: %v\n", o.rank, err)
@@ -244,6 +248,10 @@ func childArgs(o workerOpts, r int, restore bool) []string {
 			"-checkpoint-every", strconv.FormatInt(o.ckEvery, 10),
 			"-max-rollbacks", strconv.Itoa(o.maxRollbacks))
 	}
+	if o.spillDir != "" {
+		args = append(args, "-spill-dir", o.spillDir,
+			"-overlay-budget", strconv.FormatInt(o.overlay, 10))
+	}
 	if restore {
 		args = append(args, "-restore")
 	}
@@ -358,6 +366,8 @@ func runRank(g *graph.Graph, spec *pergen.Spec, o workerOpts, t int64, targetX f
 			CheckpointDir:   o.ckDir,
 			CheckpointEvery: o.ckEvery,
 			Restore:         restore,
+			SpillDir:        o.spillDir,
+			OverlayBudget:   o.overlay,
 		})
 		if err != nil {
 			return err

@@ -1,5 +1,5 @@
 // Command experiments reproduces the paper's tables and figures. Each
-// experiment id names one artifact (see DESIGN.md §7 and EXPERIMENTS.md).
+// experiment id names one artifact (see DESIGN.md §8 and EXPERIMENTS.md).
 //
 // Examples:
 //

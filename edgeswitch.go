@@ -141,6 +141,17 @@ type Options struct {
 	// count derives from the spec's deterministic MaxEdges bound, so all
 	// ranks agree on t without a collective.
 	Gen *GenSpec
+	// SpillDir, when non-empty, switches parallel ranks to the tiered
+	// out-of-core edge store: each rank keeps its partition in an mmap'd
+	// base segment under SpillDir/rank-NNNN plus a bounded in-memory
+	// delta overlay, compacted at step boundaries. Results are
+	// bit-identical to in-memory runs wherever those are deterministic.
+	// No effect on sequential runs.
+	SpillDir string
+	// OverlayBudget caps the per-rank overlay entry count before a
+	// compaction is forced (0 = auto: a quarter of the loaded entries,
+	// floor 4096). Only meaningful with SpillDir.
+	OverlayBudget int64
 }
 
 // Report summarizes a Run.
@@ -236,6 +247,8 @@ func Run(g *Graph, opt Options) (*Report, error) {
 		AdaptiveWindow:  opt.AdaptiveWindow,
 		Algorithm:       core.Algorithm(opt.Algorithm),
 		TargetVisitRate: targetX,
+		SpillDir:        opt.SpillDir,
+		OverlayBudget:   opt.OverlayBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -265,6 +278,8 @@ func runDistributedGen(opt Options) (*Report, error) {
 		Algorithm:       core.Algorithm(opt.Algorithm),
 		TargetVisitRate: targetX,
 		DistributedGen:  &spec,
+		SpillDir:        opt.SpillDir,
+		OverlayBudget:   opt.OverlayBudget,
 	})
 	if err != nil {
 		return nil, err

@@ -87,6 +87,7 @@ func Checks() []*Check {
 		checkCollSync,
 		checkHotAlloc,
 		checkSendOwned,
+		checkMmapLife,
 		checkConfigDoc,
 	}
 }

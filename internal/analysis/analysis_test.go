@@ -281,6 +281,27 @@ func TestChecksOnFixtures(t *testing.T) {
 			typecheck: true,
 		},
 		{
+			name:  "mmaplife fires on slice uses after Close/Unmap",
+			check: "mmaplife", variant: "bad", as: "internal/store",
+			typecheck: true,
+			want: []finding{
+				{"bad.go", 13}, // read after Close
+				{"bad.go", 22}, // closed on one path, used at the join
+				{"bad.go", 29}, // returned after Unmap
+			},
+			msg: "unmapped",
+		},
+		{
+			name:  "mmaplife exempts non-store packages",
+			check: "mmaplife", variant: "bad", as: "internal/harness",
+			typecheck: true,
+		},
+		{
+			name:  "mmaplife accepts copy-out, deferred Close, rebinds and annotations",
+			check: "mmaplife", variant: "good", as: "internal/store",
+			typecheck: true,
+		},
+		{
 			name:  "configdoc fires on undocumented exported config fields",
 			check: "configdoc", variant: "bad", as: "internal/core",
 			want: []finding{

@@ -40,5 +40,7 @@ func Annotations() []Annotation {
 			Doc: "marks a type as an allocation arena; the guard neither audits nor descends through its methods"},
 		{Marker: sendownedMarker, Check: "sendowned", Kind: "waiver",
 			Doc: "permits touching a buffer after SendOwned (e.g. a test asserting the transfer)"},
+		{Marker: mmaplifeMarker, Check: "mmaplife", Kind: "waiver",
+			Doc: "permits touching a mapping-derived slice after its segment's Close (the bytes are provably still valid)"},
 	}
 }

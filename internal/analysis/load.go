@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -55,6 +56,11 @@ type File struct {
 	Ast         *ast.File
 	Test        bool // *_test.go
 	BuildTagged bool // carries a //go:build (or legacy +build) constraint
+
+	// Constraint is the parsed build constraint, nil when the file has
+	// none (or it failed to parse — such files stay in the type-checked
+	// set so a malformed tag degrades to the old behaviour).
+	Constraint constraint.Expr
 }
 
 // Under reports whether the package lies in or beneath any of the given
@@ -149,12 +155,14 @@ func loadDir(fset *token.FileSet, dir string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
+		expr := buildConstraintOf(f)
 		pkg.Files = append(pkg.Files, &File{
 			Name:        e.Name(),
 			Path:        path,
 			Ast:         f,
 			Test:        strings.HasSuffix(e.Name(), "_test.go"),
 			BuildTagged: hasBuildConstraint(f),
+			Constraint:  expr,
 		})
 	}
 	if len(pkg.Files) == 0 {
@@ -187,6 +195,38 @@ func hasBuildConstraint(f *ast.File) bool {
 		}
 	}
 	return false
+}
+
+// buildConstraintOf parses the file's build constraint into an
+// evaluable expression: the first //go:build line wins; otherwise the
+// legacy // +build lines are ANDed together. Returns nil when the file
+// has no constraint or it does not parse.
+func buildConstraintOf(f *ast.File) constraint.Expr {
+	var legacy constraint.Expr
+	for _, grp := range f.Comments {
+		if grp.Pos() >= f.Package {
+			break
+		}
+		for _, c := range grp.List {
+			text := strings.TrimSpace(c.Text)
+			if !constraint.IsGoBuild(text) && !constraint.IsPlusBuild(text) {
+				continue
+			}
+			expr, err := constraint.Parse(text)
+			if err != nil {
+				continue
+			}
+			if constraint.IsGoBuild(text) {
+				return expr
+			}
+			if legacy == nil {
+				legacy = expr
+			} else {
+				legacy = &constraint.AndExpr{X: legacy, Y: expr}
+			}
+		}
+	}
+	return legacy
 }
 
 // modulePath extracts the module path from a go.mod file.

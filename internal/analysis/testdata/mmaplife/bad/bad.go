@@ -1,0 +1,30 @@
+package store
+
+type Segment struct{}
+
+func (s *Segment) List(li int) []byte { return nil }
+func (s *Segment) Close() error       { return nil }
+func (s *Segment) Unmap()             {}
+
+// Reading a mapped slice after Close dangles: the pages are unmapped.
+func useAfterClose(s *Segment) byte {
+	b := s.List(0)
+	_ = s.Close()
+	return b[0]
+}
+
+// Closed on one path is closed at the join: the may-analysis unions.
+func branchClose(s *Segment, l []byte, cond bool) int {
+	l = s.List(1)
+	if cond {
+		_ = s.Close()
+	}
+	return len(l)
+}
+
+// Returning the slice after the unmap escapes a dangling view.
+func escapeAfterUnmap(s *Segment) []byte {
+	l := s.List(2)
+	s.Unmap()
+	return l
+}

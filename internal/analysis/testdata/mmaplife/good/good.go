@@ -1,0 +1,36 @@
+package store
+
+type Segment struct{}
+
+func (s *Segment) List(li int) []byte { return nil }
+func (s *Segment) Close() error       { return nil }
+
+// Copying the bytes out before Close leaves no view into the mapping.
+func copyOut(s *Segment) []byte {
+	out := append([]byte(nil), s.List(0)...)
+	_ = s.Close()
+	return out
+}
+
+// A deferred Close runs at function exit, after every use in the body.
+func deferredClose(s *Segment) byte {
+	defer s.Close()
+	b := s.List(0)
+	return b[0]
+}
+
+// Rebinding gives the variable a fresh, unrelated buffer.
+func rebind(s *Segment) int {
+	b := s.List(0)
+	_ = s.Close()
+	b = make([]byte, 4)
+	return len(b)
+}
+
+// Waived: the comment says why the bytes remain valid.
+func waived(s *Segment) int {
+	b := s.List(0)
+	_ = s.Close()
+	// mmaplife: fixture waiver — heap-fallback segment retains its buffer
+	return len(b)
+}

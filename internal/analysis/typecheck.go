@@ -5,13 +5,19 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/types"
+	"runtime"
+	"strings"
 )
 
 // TypeCheck resolves type information for every package of the module,
 // best effort: a package that fails to type-check records the error in
 // TypeErr and keeps nil Types, and type-dependent checks skip it. Only
 // non-test files participate (test files may form a separate _test
-// package; the checks that run on them are purely syntactic).
+// package; the checks that run on them are purely syntactic), and files
+// whose build constraint does not hold on the host platform are left
+// out, so mutually exclusive per-OS variants of the same declarations
+// (e.g. an mmap implementation and its portable fallback) do not
+// collide as redeclarations.
 //
 // Module-internal imports are resolved by a custom importer that
 // type-checks the imported directory recursively; everything else (the
@@ -86,11 +92,12 @@ func (im *moduleImporter) check(path string, p *Package) {
 	typeCheckInto(p, path, im)
 }
 
-// typeCheckInto runs go/types over the package's non-test files.
+// typeCheckInto runs go/types over the package's non-test files that
+// build on the host platform.
 func typeCheckInto(p *Package, path string, im types.Importer) {
 	var files []*ast.File
 	for _, f := range p.Files {
-		if !f.Test {
+		if !f.Test && (f.Constraint == nil || f.Constraint.Eval(hostBuildTag)) {
 			files = append(files, f.Ast)
 		}
 	}
@@ -115,6 +122,24 @@ func typeCheckInto(p *Package, path string, im types.Importer) {
 	}
 	p.Types = pkg
 	p.TypesInfo = info
+}
+
+// hostBuildTag reports whether a build tag is satisfied on the host:
+// the running GOOS/GOARCH, the umbrella "unix" tag, the gc compiler,
+// and every go1.N release tag. Custom tags (debug gates and the like)
+// are unsatisfied, matching a plain `go build`.
+func hostBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly", "illumos", "ios":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // resolvePkgName reports whether id resolves to the package named by path.

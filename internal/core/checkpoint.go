@@ -10,6 +10,7 @@ import (
 
 	"edgeswitch/internal/mpi"
 	"edgeswitch/internal/partition"
+	"edgeswitch/internal/store"
 	"edgeswitch/internal/tune/window"
 )
 
@@ -96,6 +97,13 @@ func ckSnapPath(dir string, step int64, rank int) string {
 	return filepath.Join(dir, fmt.Sprintf("snap-%08d-rank-%04d.ck", step, rank))
 }
 
+// ckSegPath names the hard-linked base segment of an external-mode
+// snapshot (tiered storage, Config.SpillDir). The .seg suffix keeps it
+// clear of the Sscanf patterns matching .ck snapshots and manifests.
+func ckSegPath(dir string, step int64, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d-rank-%04d.seg", step, rank))
+}
+
 // writeAtomic writes data next to path and renames it into place, so a
 // crash mid-write never leaves a half-written file under the final name.
 func writeAtomic(path string, data []byte) error {
@@ -123,7 +131,28 @@ func (ck *checkpointer) degreeCRC(e *rankEngine) (uint32, error) {
 // older than the retention window.
 func (ck *checkpointer) save(e *rankEngine, stepSize int64) error {
 	step := e.stepsRun
-	snap := e.encodeSnapshot()
+	// Tiered storage checkpoints externally: force the base segment
+	// current (a no-op when the boundary's compaction already ran or the
+	// overlay is clean) and hard-link it next to the snapshot — the
+	// segment is immutable, so publishing it costs one directory entry,
+	// not an O(|E_local|) re-encode. Failures must not desert the
+	// collectives below, so they ride the ack like a snapshot-write
+	// failure.
+	var ext *segIdentity
+	var localErr error
+	if ts, ok := e.adj.(*store.Tiered); ok {
+		segPath := ckSegPath(ck.dir, step, ck.c.Rank())
+		if err := ts.Compact(); err != nil {
+			localErr = fmt.Errorf("core: compacting for checkpoint: %w", err)
+		} else if err := os.Remove(segPath); err != nil && !os.IsNotExist(err) {
+			localErr = fmt.Errorf("core: clearing stale checkpoint segment: %w", err)
+		} else if err := store.LinkOrCopy(ts.BasePath(), segPath); err != nil {
+			localErr = fmt.Errorf("core: linking checkpoint segment: %w", err)
+		} else {
+			ext = &segIdentity{size: ts.BaseSize(), crc: ts.BaseCRC()}
+		}
+	}
+	snap := e.encodeSnapshot(ext)
 	crc, err := snapshotCRC(snap)
 	if err != nil {
 		return err
@@ -135,10 +164,13 @@ func (ck *checkpointer) save(e *rankEngine, stepSize int64) error {
 	var own [5]byte
 	own[0] = 1
 	putU32(own[1:], crc)
-	localErr := writeAtomic(ckSnapPath(ck.dir, step, ck.c.Rank()), snap)
+	if localErr == nil {
+		if werr := writeAtomic(ckSnapPath(ck.dir, step, ck.c.Rank()), snap); werr != nil {
+			localErr = fmt.Errorf("core: writing checkpoint snapshot: %w", werr)
+		}
+	}
 	if localErr != nil {
 		own[0] = 0
-		localErr = fmt.Errorf("core: writing checkpoint snapshot: %w", localErr)
 	}
 	degCRC, err := ck.degreeCRC(e)
 	if err != nil {
@@ -253,8 +285,14 @@ func (ck *checkpointer) gc(latest int64) {
 	for _, ent := range ents {
 		var step int64
 		var rank int
-		n, serr := fmt.Sscanf(ent.Name(), "snap-%d-rank-%d.ck", &step, &rank)
-		if n == 2 && serr == nil && rank == ck.c.Rank() && step < cutoff {
+		// Two passes over the name: the literal suffix makes each Sscanf
+		// reject the other kind (n == 2 but serr != nil on a suffix
+		// mismatch), so .ck snapshots and .seg hard links GC separately.
+		if n, serr := fmt.Sscanf(ent.Name(), "snap-%d-rank-%d.ck", &step, &rank); n == 2 && serr == nil && rank == ck.c.Rank() && step < cutoff {
+			_ = os.Remove(filepath.Join(ck.dir, ent.Name()))
+			continue
+		}
+		if n, serr := fmt.Sscanf(ent.Name(), "snap-%d-rank-%d.seg", &step, &rank); n == 2 && serr == nil && rank == ck.c.Rank() && step < cutoff {
 			_ = os.Remove(filepath.Join(ck.dir, ent.Name()))
 		}
 	}
@@ -321,10 +359,44 @@ func (ck *checkpointer) restorable(man *ckManifest) ([]byte, error) {
 	// Full trailer + header verification up front, so a corrupted file
 	// surfaces here (making the step non-restorable or, for an exact
 	// RestoreStep request, an actionable error) rather than mid-restore.
-	if _, _, err := decodeSnapshotHeader(data); err != nil {
+	st, _, err := decodeSnapshotHeader(data)
+	if err != nil {
 		return nil, err
 	}
+	if st.storage == snapStorageExternal {
+		// Cheap identity check of the hard-linked segment: size plus the
+		// stored trailer CRC value. The full content verification runs at
+		// restore (store.OpenSegment / AdoptSegment hash every byte).
+		if err := checkSegIdentity(ckSegPath(ck.dir, man.Step, ck.c.Rank()), st.seg); err != nil {
+			return nil, err
+		}
+	}
 	return data, nil
+}
+
+// checkSegIdentity verifies that the file at path has the expected size
+// and carries the expected CRC32C trailer value, without hashing it.
+func checkSegIdentity(path string, id segIdentity) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() != id.size {
+		return fmt.Errorf("core: checkpoint segment %s is %d bytes, snapshot recorded %d", path, fi.Size(), id.size)
+	}
+	var trailer [4]byte
+	if _, err := f.ReadAt(trailer[:], id.size-4); err != nil {
+		return err
+	}
+	if got := getU32(trailer[:]); got != id.crc {
+		return fmt.Errorf("core: checkpoint segment %s carries CRC %08x, snapshot recorded %08x", path, got, id.crc)
+	}
+	return nil
 }
 
 // agreeRestoreStep is the rollback collective: each rank offers the
@@ -407,7 +479,10 @@ func (ck *checkpointer) restoreEngine(pt partition.Partitioner, n int, m int64, 
 	if m >= 0 && man.M != m {
 		return nil, 0, fmt.Errorf("core: checkpoint step %d is for %d edges, this run has %d", step, man.M, m)
 	}
-	e := newEmptyRankEngine(ck.c, pt, n, cfg)
+	e, err := newEmptyRankEngine(ck.c, pt, n, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
 	st, adjData, err := decodeSnapshotHeader(snap)
 	if err != nil {
 		return nil, 0, err
@@ -418,7 +493,12 @@ func (ck *checkpointer) restoreEngine(pt partition.Partitioner, n int, m int64, 
 	if st.m != man.M || st.step != step {
 		return nil, 0, fmt.Errorf("core: snapshot for step %d disagrees with its manifest (m %d vs %d, step %d)", step, st.m, man.M, st.step)
 	}
-	if err := e.loadSnapshotAdjacency(adjData); err != nil {
+	if st.storage == snapStorageExternal {
+		err = e.loadSnapshotSegment(ckSegPath(ck.dir, step, ck.c.Rank()), st.seg)
+	} else {
+		err = e.loadSnapshotAdjacency(adjData)
+	}
+	if err != nil {
 		return nil, 0, err
 	}
 	if err := e.finishLoad(man.M, cfg); err != nil {
@@ -450,6 +530,11 @@ func (ck *checkpointer) restoreEngine(pt partition.Partitioner, n int, m int64, 
 			Start:   int(st.window),
 		})
 	}
+	// Every rank verified its snapshot (and segment identity) in
+	// restorable() before the step was agreed, so the per-rank load and
+	// decode error paths above fire only on a corruption race, where the
+	// whole restore is abandoned anyway.
+	// collsync: post-agreement ranks cannot routinely diverge (see above)
 	degCRC, err := ck.degreeCRC(e)
 	if err != nil {
 		return nil, 0, err

@@ -300,7 +300,7 @@ func TestSnapshotHeaderRoundTrip(t *testing.T) {
 	eng.opsInitiated = 17
 	eng.restarts = 2
 
-	snap := eng.encodeSnapshot()
+	snap := eng.encodeSnapshot(nil)
 	st, adj, err := decodeSnapshotHeader(snap)
 	if err != nil {
 		t.Fatal(err)

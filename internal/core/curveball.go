@@ -214,9 +214,9 @@ type curveball struct {
 // AllreduceUint32s establishes the global degree vector.
 func newCurveball(e *rankEngine) (*curveball, error) {
 	loc := make([]uint32, e.n)
-	for li := range e.adj {
+	for li := range e.verts {
 		u := e.verts[li]
-		e.adj[li].Walk(func(v graph.Vertex, _ bool) bool {
+		e.adj.Walk(li, func(v graph.Vertex, _ bool) bool {
 			loc[u]++
 			loc[v]++
 			return true
@@ -268,7 +268,7 @@ func (r *curveball) prepare(s int64, counts []int64) error {
 	// incident trade (or straight back to its owner when neither endpoint
 	// trades this round).
 	var rerr error
-	for li := range e.adj {
+	for li := range e.verts {
 		e.drainLocal(li, func(ed graph.Edge, orig bool) { // hotalloc: one closure per owned vertex per round, amortized over the drained adjacency
 			if rerr != nil {
 				return

@@ -115,7 +115,10 @@ type genEdge struct {
 // their minimum endpoint, so duplicates collapse wholly inside one rank
 // and the global edge set stays independent of p.
 func newRankEngineFromGen(c *mpi.Comm, pt partition.Partitioner, gn *pergen.Gen, cfg Config) (*rankEngine, error) {
-	e := newEmptyRankEngine(c, pt, gn.N(), cfg)
+	e, err := newEmptyRankEngine(c, pt, gn.N(), cfg)
+	if err != nil {
+		return nil, err
+	}
 	p := c.Size()
 	buf := make([]genEdge, 0, int(gn.Spec().MaxEdges()/int64(p))+gn.N()/p+16)
 	gn.PartitionEdges(pt, c.Rank(), func(ed graph.Edge) {
@@ -176,7 +179,7 @@ func newRankEngineFromGen(c *mpi.Comm, pt partition.Partitioner, gn *pergen.Gen,
 			keys = append(keys, grp[i].v)
 			prios = append(prios, grp[i].prio)
 		}
-		e.adj[li].BuildSorted(&e.arena, keys, prios, true)
+		e.adj.BuildSorted(li, keys, prios, true)
 		counts[li] = int64(len(keys))
 	}
 	e.deg = graph.NewFenwickFrom(counts)

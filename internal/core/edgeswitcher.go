@@ -268,7 +268,7 @@ func (r *edgeSwitcher) conflicts(ed graph.Edge) (conflict, transient bool) {
 	if !ok {
 		return true, false // foreign edge: misrouted, treat as conflict
 	}
-	return e.adj[li].Contains(ed.V), false
+	return e.adj.Contains(int(li), ed.V), false
 }
 
 // takeRandomEdge removes a uniform random local edge into inHand.

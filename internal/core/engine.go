@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"edgeswitch/internal/graph"
 	"edgeswitch/internal/mpi"
 	"edgeswitch/internal/partition"
 	"edgeswitch/internal/rng"
+	"edgeswitch/internal/store"
 	"edgeswitch/internal/tune/window"
 )
 
@@ -35,18 +37,16 @@ type rankEngine struct {
 	rand randomizer
 
 	// Local storage: verts lists owned vertices ascending; index maps a
-	// global vertex id to its slot; adj[slot] holds the reduced
-	// adjacency (global neighbour ids, each > the owner vertex); deg is
-	// the Fenwick tree over reduced degrees for O(log) uniform edge
-	// selection.
+	// global vertex id to its slot; adj holds the reduced adjacencies
+	// (slot li's entries are global neighbour ids, each > the owner
+	// vertex) behind the store seam — all-in-memory treaps, or the
+	// tiered mmap-base-plus-overlay store when Config.SpillDir is set;
+	// deg is the Fenwick tree over reduced degrees for O(log) uniform
+	// edge selection.
 	verts []graph.Vertex
 	index map[graph.Vertex]int32
-	adj   []graph.AdjSet
+	adj   store.Store
 	deg   *graph.Fenwick
-
-	// arena recycles treap nodes across all local AdjSets: every switch
-	// is a delete+insert pair, so steady state allocates no nodes.
-	arena graph.NodeArena
 
 	initialEdges int64
 
@@ -219,13 +219,16 @@ func (e *rankEngine) opWindowSize() int {
 // else. With CheckInvariants set, every step boundary of the run
 // re-verifies the engine invariants (see sanitize.go and stepsync.go).
 func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges []flaggedEdge, cfg Config) (*rankEngine, error) {
-	e := newEmptyRankEngine(c, pt, n, cfg)
+	e, err := newEmptyRankEngine(c, pt, n, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for _, fe := range edges {
 		li, ok := e.index[fe.e.U]
 		if !ok {
 			return nil, fmt.Errorf("core: rank %d handed foreign edge %v", c.Rank(), fe.e)
 		}
-		if !e.adj[li].InsertArena(&e.arena, fe.e.V, fe.orig, e.rnd.Uint32()) {
+		if !e.adj.Insert(int(li), fe.e.V, fe.orig, e.rnd.Uint32()) {
 			return nil, fmt.Errorf("core: rank %d handed duplicate edge %v", c.Rank(), fe.e)
 		}
 		e.deg.Add(int(li), 1)
@@ -236,10 +239,30 @@ func newRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, m int64, edges 
 	return e, nil
 }
 
+// promotePrioSplit namespaces the tiered store's promotion-priority
+// stream in the seed's split space, clear of the per-rank run streams
+// (rank+2), the HP-U streams (1<<20 block) and the snapshot-restore
+// streams (restorePrioSplit's 1<<21 block). Treap priorities shape only
+// tree form, never results, but drawing them from the run RNG would
+// desynchronize spill and in-memory runs — this stream keeps the two
+// bit-identical.
+const promotePrioSplit = 1 << 22
+
+// newStore builds the rank's storage: the in-memory treap store, or the
+// tiered spill store rooted at SpillDir/rank-NNNN when configured.
+func newStore(c *mpi.Comm, verts []graph.Vertex, cfg Config) (store.Store, error) {
+	if cfg.SpillDir == "" {
+		return store.NewMem(verts), nil
+	}
+	dir := filepath.Join(cfg.SpillDir, fmt.Sprintf("rank-%04d", c.Rank()))
+	prio := rng.Split(cfg.Seed, promotePrioSplit+c.Rank())
+	return store.NewTiered(dir, verts, cfg.OverlayBudget, prio.Uint32)
+}
+
 // newEmptyRankEngine prepares a rank's state with an empty partition;
 // callers insert this rank's edges (a handed []flaggedEdge, or the
 // distributed-generation scan) and then finishLoad.
-func newEmptyRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, cfg Config) *rankEngine {
+func newEmptyRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, cfg Config) (*rankEngine, error) {
 	e := &rankEngine{
 		c:        c,
 		pt:       pt,
@@ -261,9 +284,12 @@ func newEmptyRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, cfg Config
 	for i, v := range e.verts {
 		e.index[v] = int32(i)
 	}
-	e.adj = make([]graph.AdjSet, len(e.verts))
+	var err error
+	if e.adj, err = newStore(c, e.verts, cfg); err != nil {
+		return nil, fmt.Errorf("core: rank %d storage: %w", c.Rank(), err)
+	}
 	e.deg = graph.NewFenwick(len(e.verts))
-	return e
+	return e, nil
 }
 
 // finishLoad records the global edge count m and the partition size,
@@ -271,11 +297,14 @@ func newEmptyRankEngine(c *mpi.Comm, pt partition.Partitioner, n int, cfg Config
 // attaches the configured randomizer — the steps that need the local
 // edges to be in place.
 func (e *rankEngine) finishLoad(m int64, cfg Config) error {
+	if err := e.adj.EndLoad(); err != nil {
+		return fmt.Errorf("core: rank %d finishing storage load: %w", e.c.Rank(), err)
+	}
 	e.m = m
 	e.initialEdges = e.deg.Total()
 	e.origLocal = 0
-	for li := range e.adj {
-		e.origLocal += int64(e.adj[li].Originals())
+	for li := range e.verts {
+		e.origLocal += int64(e.adj.Originals(li))
 	}
 	if cfg.AdaptiveWindow {
 		// Start at the fixed window the controller replaces, so an
@@ -357,6 +386,13 @@ func (e *rankEngine) run(t, stepSize int64) error {
 			return err
 		}
 		e.endStep()
+		// The boundary is the store's compaction point: no reads are
+		// outstanding, so a tiered store past its overlay budget can fold
+		// the overlay into a fresh base segment here. Runs before the
+		// checkpoint hook so a snapshot always links a current base.
+		if err := e.adj.EndStep(); err != nil {
+			return e.stepErr(step, "store compaction", err)
+		}
 		e.stepsRun++
 		if e.ckpt != nil && e.stepsRun%e.ckpt.every == 0 {
 			// The boundary is a consistent cut: the plane is empty and the
@@ -575,8 +611,8 @@ func (e *rankEngine) owner(ed graph.Edge) int { return e.pt.Owner(ed.U) }
 // through these helpers keeps both exact.
 func (e *rankEngine) takeLocal() (graph.Edge, bool) {
 	slot, offset := e.deg.FindByPrefix(e.rnd.Int64n(e.deg.Total()))
-	v, orig := e.adj[slot].Kth(int(offset))
-	e.adj[slot].DeleteArena(&e.arena, v)
+	v, orig := e.adj.Kth(slot, int(offset))
+	e.adj.Delete(slot, v)
 	e.deg.Add(slot, -1)
 	ed := graph.Edge{U: e.verts[slot], V: v}
 	e.noteDegree(ed, -1)
@@ -593,7 +629,7 @@ func (e *rankEngine) insertLocal(ed graph.Edge, orig bool) error {
 	if !ok {
 		return fmt.Errorf("core: rank %d inserting foreign edge %v", e.c.Rank(), ed)
 	}
-	if !e.adj[li].InsertArena(&e.arena, ed.V, orig, e.rnd.Uint32()) {
+	if !e.adj.Insert(int(li), ed.V, orig, e.rnd.Uint32()) {
 		return fmt.Errorf("core: rank %d insert found duplicate edge %v", e.c.Rank(), ed)
 	}
 	e.deg.Add(int(li), 1)
@@ -611,17 +647,44 @@ func (e *rankEngine) insertLocal(ed graph.Edge, orig bool) error {
 // lists, so the sanitizer's conservation check holds across a round.
 func (e *rankEngine) drainLocal(li int, fn func(ed graph.Edge, orig bool)) {
 	u := e.verts[li]
-	cnt := e.adj[li].Len()
+	cnt := e.adj.Len(li)
 	if cnt == 0 {
 		return
 	}
-	e.origLocal -= int64(e.adj[li].Originals())
-	e.adj[li].DrainArena(&e.arena, func(v graph.Vertex, orig bool) { // hotalloc: one closure per drained vertex per round, amortized over the adjacency walk
+	e.origLocal -= int64(e.adj.Originals(li))
+	e.adj.Drain(li, func(v graph.Vertex, orig bool) { // hotalloc: one closure per drained vertex per round, amortized over the adjacency walk
 		ed := graph.Edge{U: u, V: v}
 		e.noteDegree(ed, -1)
 		fn(ed, orig)
 	})
 	e.deg.Add(li, int64(-cnt))
+}
+
+// edgeHash fingerprints this rank's edge set: an order-independent sum
+// of mixed (u, v, original) hashes. Partitions are disjoint, so rank 0's
+// fold of the per-rank sums identifies the global edge set regardless of
+// rank count or storage tier — Result.EdgeHash.
+func (e *rankEngine) edgeHash() uint64 {
+	var h uint64
+	for li := range e.verts {
+		u := uint64(e.verts[li])
+		e.adj.Walk(li, func(v graph.Vertex, orig bool) bool { // hotalloc: one closure per owned vertex, once per run
+			x := u<<33 | uint64(v)<<1
+			if orig {
+				x |= 1
+			}
+			// SplitMix64's finalizer: full avalanche, so the unordered sum
+			// still separates edge sets differing in a single entry.
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			h += x
+			return true
+		})
+	}
+	return h
 }
 
 func (e *rankEngine) send(dst int, m opMsg) error {

@@ -146,10 +146,10 @@ func TestEngineTakePreservesOriginalFlag(t *testing.T) {
 	}
 	li01 := eng.index[0]
 	li23 := eng.index[2]
-	if !eng.adj[li01].Original(1) {
+	if !eng.adj.Original(int(li01), 1) {
 		t.Fatal("original flag lost on (0,1)")
 	}
-	if eng.adj[li23].Original(3) {
+	if eng.adj.Original(int(li23), 3) {
 		t.Fatal("modified edge became original on (2,3)")
 	}
 }

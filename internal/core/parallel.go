@@ -78,6 +78,22 @@ type Config struct {
 	// own transport payload. For benchmarks and tests quantifying the
 	// batching win; leave off otherwise.
 	DisableBatching bool
+	// SpillDir, when set, switches every rank's partition storage from
+	// in-memory treaps to the tiered out-of-core store (internal/store,
+	// DESIGN.md §7): an immutable mmap'd base segment under
+	// SpillDir/rank-NNNN holds the partition on disk, an in-memory
+	// overlay holds only vertices touched since the last compaction, and
+	// step boundaries fold an over-budget overlay into a new base
+	// segment. Results are bit-identical to in-memory runs wherever the
+	// run is deterministic; steady-state heap is O(overlay), so runs fit
+	// under a GOMEMLIMIT far below |E_local| (the mapping is file-backed
+	// and doesn't count). Multi-process ranks need distinct or shared
+	// directories — each rank uses only its own subdirectory.
+	SpillDir string
+	// OverlayBudget caps the tiered store's overlay entry count; a step
+	// boundary whose overlay exceeds it triggers compaction. 0 derives
+	// max(|E_local|/4, 4096) at load time. Ignored without SpillDir.
+	OverlayBudget int64
 	// DistributedGen, when non-nil, switches the bootstrap to
 	// communication-free parallel generation (internal/gen/pergen): no
 	// rank materializes the whole graph and nothing is scattered —
@@ -191,6 +207,23 @@ type Result struct {
 	// RestoredStep is the step boundary this run resumed from (0 when it
 	// started fresh rather than from a checkpoint).
 	RestoredStep int64
+	// EdgeHash is an order-independent fingerprint of the final edge set
+	// (with original flags): each rank sums a mixed hash of its local
+	// (u, v, orig) triples and rank 0 folds the per-rank sums. Invariant
+	// under rank count and storage tier, so spill and in-memory runs of
+	// a deterministic configuration can be compared bit-for-bit without
+	// reassembling the graph (SkipResult runs under memory caps).
+	EdgeHash uint64
+	// SpillBaseBytes totals the ranks' base-segment file sizes at the end
+	// of the run (0 without Config.SpillDir).
+	SpillBaseBytes int64
+	// SpillOverlayHWM totals the ranks' overlay entry high-water marks —
+	// the peak treap entries resident between compactions.
+	SpillOverlayHWM int64
+	// SpillCompactions totals base-segment rewrites across ranks.
+	SpillCompactions int64
+	// SpillCompactNs totals wall-clock nanoseconds ranks spent compacting.
+	SpillCompactNs int64
 	// Elapsed is the wall-clock time of the switching phase (excludes
 	// graph partitioning and reassembly).
 	Elapsed time.Duration
@@ -339,6 +372,7 @@ func RunRank(c *mpi.Comm, g *graph.Graph, t int64, cfg Config) (*Result, error) 
 func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Graph) *Baseline) (*Result, error) {
 	c, pt := eng.c, eng.pt
 	p := c.Size()
+	defer eng.adj.Close()
 	algo, err := cfg.algorithm()
 	if err != nil {
 		return nil, err
@@ -363,12 +397,17 @@ func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Gr
 	}
 	elapsed := clock.Since(start)
 
-	// Gather statistics at rank 0.
+	// Gather statistics at rank 0. The spill counters and the edge-set
+	// fingerprint ride the same collective, so spill observability and
+	// bit-identity checks cost no extra communication.
 	es := eng.Stats()
+	ss := eng.adj.Stats()
 	stats := []int64{eng.opsInitiated, eng.restarts, eng.forfeited,
 		int64(len(eng.verts)), eng.initialEdges, eng.deg.Total(), eng.msgsSent,
 		int64(eng.winMax), es.conflicts + es.reserveFails, es.flushes,
-		eng.origLocal}
+		eng.origLocal,
+		ss.BaseBytes, ss.OverlayHWM, ss.Compactions, ss.CompactNs,
+		int64(eng.edgeHash())}
 	gathered, err := c.Gather(0, mpi.Int64sToBytes(stats))
 	if err != nil {
 		return nil, err
@@ -406,6 +445,11 @@ func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Gr
 			res.RankConflicts[rank] = vs[8]
 			res.RankFlushes[rank] = vs[9]
 			origSum += vs[10]
+			res.SpillBaseBytes += vs[11]
+			res.SpillOverlayHWM += vs[12]
+			res.SpillCompactions += vs[13]
+			res.SpillCompactNs += vs[14]
+			res.EdgeHash += uint64(vs[15])
 			res.Ops += vs[0]
 			res.Restarts += vs[1]
 		}
@@ -419,9 +463,9 @@ func runEngine(eng *rankEngine, t int64, cfg Config, baseline func(out *graph.Gr
 
 	// Ship local edges (with original flags) to rank 0 and reassemble.
 	payload := make([]byte, 0, 9*len(eng.verts))
-	for li := range eng.adj {
+	for li := range eng.verts {
 		u := eng.verts[li]
-		eng.adj[li].Walk(func(v graph.Vertex, orig bool) bool {
+		eng.adj.Walk(li, func(v graph.Vertex, orig bool) bool {
 			var rec [9]byte
 			putEdge(rec[:], graph.Edge{U: u, V: v}, orig)
 			payload = append(payload, rec[:]...)

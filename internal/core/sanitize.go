@@ -215,9 +215,9 @@ func (vs *violations) addf(kind ViolationKind, format string, args ...any) {
 // sequence iff every edge is stored exactly once.
 func (e *rankEngine) localDegrees() []int64 {
 	deg := make([]int64, e.n)
-	for li := range e.adj {
+	for li := range e.verts {
 		u := e.verts[li]
-		e.adj[li].Walk(func(v graph.Vertex, _ bool) bool {
+		e.adj.Walk(li, func(v graph.Vertex, _ bool) bool {
 			deg[u]++
 			deg[v]++
 			return true
@@ -249,13 +249,13 @@ func (e *rankEngine) recordBaseline() error {
 func (e *rankEngine) sanitizeLocal() []Violation {
 	var vs violations
 	rank := e.c.Rank()
-	for li := range e.adj {
+	for li := range e.verts {
 		u := e.verts[li]
 		if owner := e.pt.Owner(u); owner != rank {
 			vs.addf(VOwnership, "rank %d holds vertex %d owned by rank %d", rank, u, owner)
 		}
 		prev := graph.Vertex(-1)
-		e.adj[li].Walk(func(v graph.Vertex, _ bool) bool {
+		e.adj.Walk(li, func(v graph.Vertex, _ bool) bool {
 			switch {
 			case v == u:
 				vs.addf(VSelfLoop, "edge (%d,%d) is a self-loop", u, v)
@@ -269,8 +269,8 @@ func (e *rankEngine) sanitizeLocal() []Violation {
 			prev = v
 			return true
 		})
-		if int64(e.adj[li].Len()) != e.deg.Get(li) {
-			vs.addf(VEdgeCount, "Fenwick degree of vertex %d is %d, adjacency holds %d", u, e.deg.Get(li), e.adj[li].Len())
+		if int64(e.adj.Len(li)) != e.deg.Get(li) {
+			vs.addf(VEdgeCount, "Fenwick degree of vertex %d is %d, adjacency holds %d", u, e.deg.Get(li), e.adj.Len(li))
 		}
 	}
 	return vs.list

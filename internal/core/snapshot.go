@@ -7,6 +7,7 @@ import (
 
 	"edgeswitch/internal/graph"
 	"edgeswitch/internal/rng"
+	"edgeswitch/internal/store"
 )
 
 // Step-boundary snapshots: at a boundary the engine is a closed system —
@@ -23,7 +24,7 @@ import (
 // Layout (little-endian), with a CRC32C (Castagnoli) trailer over
 // everything before it:
 //
-//	"ESSN" | version u16 | algo u8 | pad u8 | rank u32 | size u32
+//	"ESSN" | version u16 | algo u8 | storage u8 | rank u32 | size u32
 //	step i64 | n u32 | nv u32 | m i64 | seed u64
 //	rnd state 4×u64 | cursor u64
 //	initialEdges i64 | origLocal i64
@@ -31,6 +32,15 @@ import (
 //	tot stepStats 7×i64 | winMax i64 | window i64
 //	nv × adjacency list (graph.AppendAdjSet)
 //	crc32c u32
+//
+// The storage byte selects the adjacency section's form. 0 (inline)
+// embeds the nv adjacency lists as sketched above -- the in-memory
+// store's mode. 1 (external) embeds only a 12-byte identity -- segment
+// size u64 + segment CRC32C u32 -- of a base-segment file hard-linked
+// next to the snapshot (checkpoint.go's ckSegPath): the tiered store
+// already keeps the partition encoded on disk, so the checkpoint links
+// the current base instead of re-encoding O(|E_local|) bytes into the
+// snapshot. Either mode restores into either store.
 
 // snapMagic and snapVersion identify a snapshot file; a version bump
 // invalidates old checkpoints loudly instead of misdecoding them.
@@ -38,6 +48,19 @@ const (
 	snapMagic   = "ESSN"
 	snapVersion = 1
 )
+
+// The snapshot storage modes (header byte 7).
+const (
+	snapStorageInline   = 0 // adjacency lists embedded in the snapshot
+	snapStorageExternal = 1 // hard-linked base segment, identity embedded
+)
+
+// segIdentity names an external base segment by content: the size and
+// trailer CRC32C the restore must find at the linked path.
+type segIdentity struct {
+	size int64
+	crc  uint32
+}
 
 // snapHeaderLen is the fixed-size prefix before the adjacency encoding.
 const snapHeaderLen = 208
@@ -78,12 +101,16 @@ type snapState struct {
 	tot          stepStats
 	winMax       int64
 	window       int64
+	storage      uint8
+	seg          segIdentity // external mode only
 }
 
 // encodeSnapshot serializes this rank's resumable state at a quiesced
 // step boundary, with the CRC32C trailer appended. Call only between
-// steps (the checkpoint hook in run).
-func (e *rankEngine) encodeSnapshot() []byte {
+// steps (the checkpoint hook in run). A non-nil ext switches the
+// adjacency section to external mode: the snapshot embeds only the
+// hard-linked base segment's identity.
+func (e *rankEngine) encodeSnapshot(ext *segIdentity) []byte {
 	buf := make([]byte, snapHeaderLen, snapHeaderLen+16*len(e.verts))
 	copy(buf[0:], snapMagic)
 	le := binary.LittleEndian
@@ -93,6 +120,9 @@ func (e *rankEngine) encodeSnapshot() []byte {
 		algo = AlgoCurveball
 	}
 	buf[6] = snapAlgoByte(algo)
+	if ext != nil {
+		buf[7] = snapStorageExternal
+	}
 	le.PutUint32(buf[8:], uint32(e.c.Rank()))
 	le.PutUint32(buf[12:], uint32(e.c.Size()))
 	le.PutUint64(buf[16:], uint64(e.stepsRun))
@@ -116,8 +146,15 @@ func (e *rankEngine) encodeSnapshot() []byte {
 	for i, v := range counters {
 		le.PutUint64(buf[104+8*i:], uint64(v))
 	}
-	for li := range e.adj {
-		buf = e.adj[li].AppendAdjSet(buf, e.verts[li])
+	if ext != nil {
+		var id [12]byte
+		le.PutUint64(id[0:], uint64(ext.size))
+		le.PutUint32(id[8:], ext.crc)
+		buf = append(buf, id[:]...)
+	} else {
+		for li := range e.verts {
+			buf = e.adj.AppendEncoded(buf, li)
+		}
 	}
 	var trailer [4]byte
 	le.PutUint32(trailer[:], crc32.Checksum(buf, castagnoli))
@@ -160,15 +197,16 @@ func decodeSnapshotHeader(data []byte) (*snapState, []byte, error) {
 		return nil, nil, fmt.Errorf("core: snapshot version %d, this binary reads %d", v, snapVersion)
 	}
 	s := &snapState{
-		algo:   data[6],
-		rank:   int(le.Uint32(data[8:])),
-		size:   int(le.Uint32(data[12:])),
-		step:   int64(le.Uint64(data[16:])),
-		n:      int(le.Uint32(data[24:])),
-		nv:     int(le.Uint32(data[28:])),
-		m:      int64(le.Uint64(data[32:])),
-		seed:   le.Uint64(data[40:]),
-		cursor: le.Uint64(data[80:]),
+		algo:    data[6],
+		storage: data[7],
+		rank:    int(le.Uint32(data[8:])),
+		size:    int(le.Uint32(data[12:])),
+		step:    int64(le.Uint64(data[16:])),
+		n:       int(le.Uint32(data[24:])),
+		nv:      int(le.Uint32(data[28:])),
+		m:       int64(le.Uint64(data[32:])),
+		seed:    le.Uint64(data[40:]),
+		cursor:  le.Uint64(data[80:]),
 	}
 	for i := range s.rnd {
 		s.rnd[i] = le.Uint64(data[48+8*i:])
@@ -186,7 +224,18 @@ func decodeSnapshotHeader(data []byte) (*snapState, []byte, error) {
 		inFlightHWM: int(counters[10]),
 	}
 	s.winMax, s.window = counters[11], counters[12]
-	return s, body[snapHeaderLen:], nil
+	adj := body[snapHeaderLen:]
+	switch s.storage {
+	case snapStorageInline:
+	case snapStorageExternal:
+		if len(adj) != 12 {
+			return nil, nil, fmt.Errorf("core: external snapshot carries %d adjacency bytes, want the 12-byte segment identity", len(adj))
+		}
+		s.seg = segIdentity{size: int64(le.Uint64(adj[0:])), crc: le.Uint32(adj[8:])}
+	default:
+		return nil, nil, fmt.Errorf("core: snapshot has unknown storage mode %d", s.storage)
+	}
+	return s, adj, nil
 }
 
 // loadSnapshotAdjacency rebuilds the engine's local storage from the
@@ -210,11 +259,60 @@ func (e *rankEngine) loadSnapshotAdjacency(adjData []byte) error {
 		for range keys {
 			prios = append(prios, prioRnd.Uint32())
 		}
-		e.adj[li].BuildSortedFlagged(&e.arena, keys, prios, origs)
+		e.adj.BuildSortedFlagged(li, keys, prios, origs)
 		counts[li] = int64(len(keys))
 	}
 	if len(adjData) != 0 {
 		return fmt.Errorf("core: snapshot carries %d trailing adjacency bytes", len(adjData))
+	}
+	e.deg = graph.NewFenwickFrom(counts)
+	return nil
+}
+
+// loadSnapshotSegment rebuilds the engine's local storage from an
+// external snapshot's hard-linked base segment. A tiered store adopts
+// the file directly (hard link or copy into its spill directory, full
+// CRC verification — no decode, no re-encode); an in-memory store
+// decodes every list out of the mapping and bulk-builds its treaps with
+// priorities from the restore-only stream, exactly like the inline
+// path. Either way the Fenwick tree is rebuilt from the store's counts.
+func (e *rankEngine) loadSnapshotSegment(path string, id segIdentity) error {
+	if ts, ok := e.adj.(*store.Tiered); ok {
+		if err := ts.AdoptSegment(path, id.crc, id.size); err != nil {
+			return err
+		}
+	} else {
+		seg, err := store.OpenSegment(path)
+		if err != nil {
+			return err
+		}
+		defer seg.Close()
+		if seg.CRC() != id.crc || seg.Size() != id.size {
+			return fmt.Errorf("core: linked segment %s is (crc %08x, %d bytes), snapshot says (crc %08x, %d bytes)",
+				path, seg.CRC(), seg.Size(), id.crc, id.size)
+		}
+		if seg.NV() != len(e.verts) {
+			return fmt.Errorf("core: linked segment %s holds %d slots, partition owns %d", path, seg.NV(), len(e.verts))
+		}
+		prioRnd := rng.Split(e.seed, restorePrioSplit+e.c.Rank())
+		var keys []graph.Vertex
+		var origs []bool
+		var prios []uint32
+		for li := range e.verts {
+			keys, origs, _, err = graph.DecodeAdjSet(seg.List(li), e.verts[li], keys[:0], origs[:0])
+			if err != nil {
+				return err
+			}
+			prios = prios[:0]
+			for range keys {
+				prios = append(prios, prioRnd.Uint32())
+			}
+			e.adj.BuildSortedFlagged(li, keys, prios, origs)
+		}
+	}
+	counts := make([]int64, len(e.verts))
+	for li := range counts {
+		counts[li] = int64(e.adj.Len(li))
 	}
 	e.deg = graph.NewFenwickFrom(counts)
 	return nil

@@ -136,6 +136,22 @@ func (g *Graph) InsertUnindexed(e Edge, original bool, prio uint32) bool {
 	return g.adj[e.U].Insert(e.V, original, prio)
 }
 
+// ensureN grows the vertex space to at least n labels, leaving the
+// Fenwick degree index stale like InsertUnindexed does — the streaming
+// loaders grow as labels appear and Reindex once at the end.
+func (g *Graph) ensureN(n int) {
+	if n <= g.n {
+		return
+	}
+	if n > cap(g.adj) {
+		grown := make([]AdjSet, n, max(n, 2*cap(g.adj)))
+		copy(grown, g.adj)
+		g.adj = grown
+	}
+	g.adj = g.adj[:n]
+	g.n = n
+}
+
 // Reindex rebuilds the Fenwick degree index and the edge and original
 // counters from the adjacency sets in O(n), completing a bulk load done
 // through InsertUnindexed.

@@ -33,11 +33,15 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // Lines beginning with '#' other than the header are ignored, as are
 // blank lines, so files from other tools usually load unchanged.
 // If the header is absent, n is inferred as max label + 1.
+//
+// Edges stream straight from the scanner into the graph's adjacency
+// sets (InsertUnindexed, one Reindex at the end) — the file is never
+// materialized as an edge slice, so loading peaks at the graph's own
+// footprint rather than doubling it.
 func ReadEdgeList(r io.Reader, rnd randSource) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var edges []Edge
-	n := 0
+	g := New(0)
 	first := true
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -52,7 +56,7 @@ func ReadEdgeList(r io.Reader, rnd randSource) (*Graph, error) {
 						if v < 0 || v > maxVertices {
 							return nil, fmt.Errorf("graph: header vertex count %d out of [0,%d]", v, maxVertices)
 						}
-						n = int(v)
+						g.ensureN(int(v))
 					}
 				}
 			}
@@ -72,18 +76,23 @@ func ReadEdgeList(r io.Reader, rnd randSource) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("graph: bad vertex %q: %v", fields[1], err)
 		}
-		edges = append(edges, Edge{Vertex(u), Vertex(v)})
-		if int(u) >= n {
-			n = int(u) + 1
+		e := Edge{Vertex(u), Vertex(v)}.Norm()
+		if e.IsLoop() {
+			return nil, fmt.Errorf("graph: self-loop %v", e)
 		}
-		if int(v) >= n {
-			n = int(v) + 1
+		if e.U < 0 {
+			return nil, fmt.Errorf("graph: edge %v out of range [0,%d)", e, maxVertices)
+		}
+		g.ensureN(int(e.V) + 1)
+		if !g.InsertUnindexed(e, true, rnd.Uint32()) {
+			return nil, fmt.Errorf("graph: duplicate edge %v", e)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return FromEdges(n, edges, rnd)
+	g.Reindex()
+	return g, nil
 }
 
 // maxVertices bounds the vertex counts the parsers accept; labels must

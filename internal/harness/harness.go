@@ -1,6 +1,6 @@
 // Package harness reproduces the paper's evaluation: every table and
 // figure has a named experiment that regenerates its rows/series on the
-// dataset stand-ins (see DESIGN.md §7 for the experiment index and §2 for
+// dataset stand-ins (see DESIGN.md §8 for the experiment index and §2 for
 // the dataset substitutions). Absolute timings depend on the host; the
 // shapes — who wins, scaling trends, crossovers — are the reproduction
 // targets recorded in EXPERIMENTS.md.

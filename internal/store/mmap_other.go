@@ -1,0 +1,30 @@
+//go:build !linux && !darwin
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mmapSupported reports whether this platform maps segments instead of
+// reading them onto the heap.
+const mmapSupported = false
+
+// mmapFile degrades to reading the file onto the heap on platforms
+// without syscall.Mmap. The tiered store stays correct — only the
+// out-of-core memory win is lost.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// munmap releases a mapping returned by mmapFile (a no-op for the heap
+// fallback; the GC collects it).
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform maps segments instead of
+// reading them onto the heap.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared. The mapping stays
+// valid after f is closed; munmap releases it.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a mapping returned by mmapFile.
+func munmap(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,329 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgeswitch/internal/graph"
+	"edgeswitch/internal/rng"
+)
+
+// testVerts gives nv owners spaced apart so gaps vary in byte width.
+func testVerts(nv int) []graph.Vertex {
+	verts := make([]graph.Vertex, nv)
+	for i := range verts {
+		verts[i] = graph.Vertex(i * 7)
+	}
+	return verts
+}
+
+func newTestTiered(t *testing.T, verts []graph.Vertex, budget int64) *Tiered {
+	t.Helper()
+	r := rng.New(99)
+	ts, err := NewTiered(t.TempDir(), verts, budget, r.Uint32)
+	if err != nil {
+		t.Fatalf("NewTiered: %v", err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	return ts
+}
+
+// slotState collects slot li's (key, original) pairs via Walk.
+func slotState(s Store, li int) ([]graph.Vertex, []bool) {
+	var keys []graph.Vertex
+	var origs []bool
+	s.Walk(li, func(v graph.Vertex, orig bool) bool {
+		keys = append(keys, v)
+		origs = append(origs, orig)
+		return true
+	})
+	return keys, origs
+}
+
+func requireSlotsEqual(t *testing.T, want, got Store, nv int, tag string) {
+	t.Helper()
+	for li := 0; li < nv; li++ {
+		wk, wo := slotState(want, li)
+		gk, go_ := slotState(got, li)
+		if len(wk) != len(gk) {
+			t.Fatalf("%s: slot %d: len %d vs %d", tag, li, len(wk), len(gk))
+		}
+		for i := range wk {
+			if wk[i] != gk[i] || wo[i] != go_[i] {
+				t.Fatalf("%s: slot %d entry %d: (%d,%v) vs (%d,%v)", tag, li, i, wk[i], wo[i], gk[i], go_[i])
+			}
+		}
+		if want.Len(li) != got.Len(li) {
+			t.Fatalf("%s: slot %d: Len %d vs %d", tag, li, want.Len(li), got.Len(li))
+		}
+		if want.Originals(li) != got.Originals(li) {
+			t.Fatalf("%s: slot %d: Originals %d vs %d", tag, li, want.Originals(li), got.Originals(li))
+		}
+	}
+}
+
+// TestMemTieredEquivalence drives both implementations through the same
+// randomized op sequence — inserts, deletes, Kth takes, drains with
+// reinserts, step boundaries with a tiny budget so compactions fire
+// constantly — and demands identical observable state throughout.
+func TestMemTieredEquivalence(t *testing.T) {
+	const nv = 24
+	verts := testVerts(nv)
+	mem := NewMem(verts)
+	tr := newTestTiered(t, verts, 8) // compact at nearly every step
+
+	r := rng.New(42)
+	pr := rng.New(7)
+	for li := 0; li < nv; li++ {
+		deg := int(r.Uint32() % 12)
+		for j := 0; j < deg; j++ {
+			v := verts[li] + 1 + graph.Vertex(r.Uint32()%500)
+			p := pr.Uint32()
+			if mem.Insert(li, v, true, p) != tr.Insert(li, v, true, p) {
+				t.Fatalf("load: Insert disagreement at slot %d v %d", li, v)
+			}
+		}
+	}
+	if err := mem.EndLoad(); err != nil {
+		t.Fatalf("mem EndLoad: %v", err)
+	}
+	if err := tr.EndLoad(); err != nil {
+		t.Fatalf("tiered EndLoad: %v", err)
+	}
+	if tr.Stats().BaseBytes == 0 {
+		t.Fatal("tiered store has no base segment after EndLoad")
+	}
+	requireSlotsEqual(t, mem, tr, nv, "after load")
+
+	for step := 0; step < 60; step++ {
+		for op := 0; op < 20; op++ {
+			li := int(r.Uint32()) % nv
+			switch r.Uint32() % 5 {
+			case 0: // insert
+				v := verts[li] + 1 + graph.Vertex(r.Uint32()%500)
+				p := pr.Uint32()
+				if mem.Insert(li, v, false, p) != tr.Insert(li, v, false, p) {
+					t.Fatalf("step %d: Insert disagreement at slot %d v %d", step, li, v)
+				}
+			case 1: // delete
+				v := verts[li] + 1 + graph.Vertex(r.Uint32()%500)
+				mf, mo := mem.Delete(li, v)
+				tf, to := tr.Delete(li, v)
+				if mf != tf || mo != to {
+					t.Fatalf("step %d: Delete disagreement at slot %d v %d: (%v,%v) vs (%v,%v)", step, li, v, mf, mo, tf, to)
+				}
+			case 2: // kth
+				n := mem.Len(li)
+				if n == 0 {
+					continue
+				}
+				k := int(r.Uint32()) % n
+				mv, mo := mem.Kth(li, k)
+				tv, to := tr.Kth(li, k)
+				if mv != tv || mo != to {
+					t.Fatalf("step %d: Kth(%d,%d) disagreement: (%d,%v) vs (%d,%v)", step, li, k, mv, mo, tv, to)
+				}
+			case 3: // point lookups
+				v := verts[li] + 1 + graph.Vertex(r.Uint32()%500)
+				if mem.Contains(li, v) != tr.Contains(li, v) {
+					t.Fatalf("step %d: Contains disagreement at slot %d v %d", step, li, v)
+				}
+				if mem.Original(li, v) != tr.Original(li, v) {
+					t.Fatalf("step %d: Original disagreement at slot %d v %d", step, li, v)
+				}
+			case 4: // drain and reinsert everything (curveball's shape)
+				var mk, tk []graph.Vertex
+				var mo, to []bool
+				mem.Drain(li, func(v graph.Vertex, orig bool) { mk = append(mk, v); mo = append(mo, orig) })
+				tr.Drain(li, func(v graph.Vertex, orig bool) { tk = append(tk, v); to = append(to, orig) })
+				if len(mk) != len(tk) {
+					t.Fatalf("step %d: Drain slot %d: %d vs %d entries", step, li, len(mk), len(tk))
+				}
+				for i := range mk {
+					if mk[i] != tk[i] || mo[i] != to[i] {
+						t.Fatalf("step %d: Drain slot %d entry %d differs", step, li, i)
+					}
+					p := pr.Uint32()
+					mem.Insert(li, mk[i], mo[i], p)
+					tr.Insert(li, tk[i], to[i], p)
+				}
+			}
+		}
+		if err := mem.EndStep(); err != nil {
+			t.Fatalf("mem EndStep: %v", err)
+		}
+		if err := tr.EndStep(); err != nil {
+			t.Fatalf("tiered EndStep: %v", err)
+		}
+		requireSlotsEqual(t, mem, tr, nv, "after step")
+	}
+	st := tr.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("budget 8 never triggered a compaction")
+	}
+	if st.OverlayHWM == 0 {
+		t.Fatal("overlay high-water mark never moved")
+	}
+	// AppendEncoded must agree byte for byte (checkpoint snapshots
+	// depend on it), including unpromoted slots' verbatim base copies.
+	for li := 0; li < nv; li++ {
+		me := mem.AppendEncoded(nil, li)
+		te := tr.AppendEncoded(nil, li)
+		if !bytes.Equal(me, te) {
+			t.Fatalf("AppendEncoded differs at slot %d", li)
+		}
+	}
+}
+
+// TestTieredStreamingLoad checks that an ascending BuildSorted load —
+// with gaps, like a distributed-generation scan that skips empty slots —
+// streams straight to a base segment without touching the overlay.
+func TestTieredStreamingLoad(t *testing.T) {
+	const nv = 10
+	verts := testVerts(nv)
+	mem := NewMem(verts)
+	tr := newTestTiered(t, verts, 0)
+
+	pr := rng.New(3)
+	for _, li := range []int{1, 2, 5, 9} { // slots 0,3,4,6,7,8 stay empty
+		keys := []graph.Vertex{verts[li] + 1, verts[li] + 4, verts[li] + 90}
+		prios := []uint32{pr.Uint32(), pr.Uint32(), pr.Uint32()}
+		origs := []bool{true, false, true}
+		mem.BuildSortedFlagged(li, keys, prios, origs)
+		tr.BuildSortedFlagged(li, keys, prios, origs)
+	}
+	if err := tr.EndLoad(); err != nil {
+		t.Fatalf("EndLoad: %v", err)
+	}
+	st := tr.Stats()
+	if st.BaseBytes == 0 {
+		t.Fatal("no base segment after streamed load")
+	}
+	if st.OverlayEntries != 0 {
+		t.Fatalf("streamed load left %d overlay entries", st.OverlayEntries)
+	}
+	if st.OverlayHWM != 0 {
+		t.Fatalf("streamed load moved the overlay high-water mark to %d", st.OverlayHWM)
+	}
+	requireSlotsEqual(t, mem, tr, nv, "streamed load")
+}
+
+// TestSegmentCorruptionDetected flips one payload byte and demands the
+// cold open fail its CRC.
+func TestSegmentCorruptionDetected(t *testing.T) {
+	verts := testVerts(4)
+	tr := newTestTiered(t, verts, 0)
+	for li := range verts {
+		tr.Insert(li, verts[li]+2, true, uint32(li+1))
+	}
+	if err := tr.EndLoad(); err != nil {
+		t.Fatalf("EndLoad: %v", err)
+	}
+	path := tr.BasePath()
+	// Copy aside, then corrupt the copy (the original stays mapped).
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "seg")
+	if err := copyFile(path, dst); err != nil {
+		t.Fatalf("copy: %v", err)
+	}
+	data, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderLen] ^= 0x40
+	if err := os.WriteFile(dst, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegment(dst); err == nil {
+		t.Fatal("OpenSegment accepted a corrupted segment")
+	}
+}
+
+// TestRecoverNewestSegment builds three generations, damages the newest
+// and leaves a .tmp straggler — the recovery scan must clean both up and
+// hand back the intact middle generation, proving a crash anywhere in a
+// compaction leaves a restorable base (the atomic rename guarantee).
+func TestRecoverNewestSegment(t *testing.T) {
+	verts := testVerts(3)
+	dir := t.TempDir()
+	r := rng.New(1)
+	tr, err := NewTiered(dir, verts, 0, r.Uint32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert(0, verts[0]+1, true, 5)
+	if err := tr.EndLoad(); err != nil { // gen 1
+		t.Fatal(err)
+	}
+	tr.Insert(1, verts[1]+3, false, 6)
+	if err := tr.Compact(); err != nil { // gen 2
+		t.Fatal(err)
+	}
+	wantCRC := tr.BaseCRC()
+	tr.seg.Close() // release the mapping without removing the files
+	tr.seg = nil
+
+	// Simulate a crash mid-compaction of gen 3: a half-written .tmp …
+	if err := os.WriteFile(filepath.Join(dir, segName(3)+".tmp"), []byte("ESSGpartial"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// … and a gen-4 file that was damaged after renaming.
+	data, err := os.ReadFile(filepath.Join(dir, segName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, segName(4)), bad, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	seg, gen, err := RecoverNewestSegment(dir)
+	if err != nil {
+		t.Fatalf("RecoverNewestSegment: %v", err)
+	}
+	if seg == nil || gen != 2 {
+		t.Fatalf("recovered generation %d, want 2", gen)
+	}
+	if seg.CRC() != wantCRC {
+		t.Fatalf("recovered segment CRC %08x, want %08x", seg.CRC(), wantCRC)
+	}
+	seg.Close()
+	if _, err := os.Stat(filepath.Join(dir, segName(4))); !os.IsNotExist(err) {
+		t.Fatal("damaged gen-4 segment not removed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(3)+".tmp")); !os.IsNotExist(err) {
+		t.Fatal(".tmp straggler not removed")
+	}
+}
+
+// TestAdoptSegment round-trips a base segment into a fresh store — the
+// checkpoint restore path — and rejects identity mismatches.
+func TestAdoptSegment(t *testing.T) {
+	const nv = 6
+	verts := testVerts(nv)
+	src := newTestTiered(t, verts, 0)
+	pr := rng.New(11)
+	for li := 0; li < nv; li++ {
+		for j := 0; j < li+1; j++ {
+			src.Insert(li, verts[li]+1+graph.Vertex(j*3), j%2 == 0, pr.Uint32())
+		}
+	}
+	if err := src.EndLoad(); err != nil {
+		t.Fatal(err)
+	}
+	crc, size := src.BaseCRC(), src.BaseSize()
+
+	dst := newTestTiered(t, verts, 0)
+	if err := dst.AdoptSegment(src.BasePath(), crc, size); err != nil {
+		t.Fatalf("AdoptSegment: %v", err)
+	}
+	requireSlotsEqual(t, src, dst, nv, "adopted")
+
+	bad := newTestTiered(t, verts, 0)
+	if err := bad.AdoptSegment(src.BasePath(), crc^1, size); err == nil {
+		t.Fatal("AdoptSegment accepted a CRC mismatch")
+	}
+}

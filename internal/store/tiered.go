@@ -1,0 +1,581 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"edgeswitch/internal/clock"
+	"edgeswitch/internal/graph"
+)
+
+// Tiered is the out-of-core Store: an immutable mmap'd base segment
+// holding the whole partition in slot order, plus a bounded in-memory
+// delta overlay — one treap per slot, but only for slots touched since
+// the last compaction. Reads consult overlay-then-base; every mutation
+// promotes its slot into the overlay first (materializing the base list
+// into a treap once); when the overlay outgrows its budget at a step
+// boundary, a compaction merges it into a new base segment in one
+// sequential pass — unpromoted slots are copied verbatim, byte for byte,
+// since the gap encoding is owner-relative and they did not change.
+// Steady-state memory is O(working set between compactions), not
+// O(|E_local|); the mmap'd base does not count against GOMEMLIMIT.
+//
+// Tiered never consumes the engine's run RNG: promotion priorities come
+// from the dedicated stream handed to NewTiered, so spill and in-memory
+// runs make identical random choices (priorities shape only treap form,
+// never results — selection is by key order).
+type Tiered struct {
+	dir   string
+	verts []graph.Vertex
+
+	overlay       []graph.AdjSet
+	arena         graph.NodeArena
+	promoted      []bool
+	promotedCount int
+	entries       int64 // live overlay entries
+	hwm           int64
+
+	seg *Segment
+	gen uint64
+
+	w     *SegmentWriter // open streaming bulk-load writer
+	wNext int            // next slot the writer expects
+
+	loading       bool
+	loadedEntries int64 // entries seen during load, for the auto budget
+	budget        int64
+	cfgBudget     int64
+
+	prio func() uint32
+
+	compactions int64
+	compactNs   int64
+
+	// decode/encode scratch, reused across slots
+	keys   []graph.Vertex
+	origs  []bool
+	prios  []uint32
+	encBuf []byte
+}
+
+// autoBudgetFloor keeps tiny partitions from compacting on every step.
+const autoBudgetFloor = 4096
+
+// NewTiered creates a tiered store spilling to dir (created if absent;
+// any stale segments from a previous run are removed). verts maps slots
+// to owner labels and is retained. budget caps the overlay's entry
+// count; 0 resolves to max(loadedEntries/4, 4096) at EndLoad. prio
+// supplies treap priorities for promoted entries and must be a stream
+// independent of the run RNG.
+func NewTiered(dir string, verts []graph.Vertex, budget int64, prio func() uint32) (*Tiered, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			_ = os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+	return &Tiered{
+		dir:       dir,
+		verts:     verts,
+		overlay:   make([]graph.AdjSet, len(verts)),
+		promoted:  make([]bool, len(verts)),
+		loading:   true,
+		cfgBudget: budget,
+		prio:      prio,
+	}, nil
+}
+
+// inOverlay reports whether slot li's live content is the overlay treap
+// (no base yet, or promoted since the last compaction).
+func (t *Tiered) inOverlay(li int) bool { return t.seg == nil || t.promoted[li] }
+
+// list returns slot li's encoded base list; only valid when !inOverlay.
+func (t *Tiered) list(li int) []byte { return t.seg.List(li) }
+
+// corrupt reports an undecodable base list. The segment passed its CRC
+// when opened, so this is an invariant violation (an encoder bug or
+// in-flight memory damage), not an I/O condition the engine could
+// handle — the read paths have no error returns, matching AdjSet.
+func (t *Tiered) corrupt(li int, err error) {
+	panic(fmt.Sprintf("store: base segment %s slot %d undecodable after CRC pass: %v", t.seg.Path(), li, err))
+}
+
+// materialize promotes slot li: its base list is decoded into an overlay
+// treap (with fresh priorities from the promotion stream) and the base
+// copy goes dead until the next compaction.
+func (t *Tiered) materialize(li int) {
+	keys, origs, _, err := graph.DecodeAdjSet(t.list(li), t.verts[li], t.keys[:0], t.origs[:0])
+	if err != nil {
+		t.corrupt(li, err)
+	}
+	t.keys, t.origs = keys, origs
+	prios := t.prios[:0]
+	for range keys {
+		prios = append(prios, t.prio())
+	}
+	t.prios = prios
+	t.overlay[li].BuildSortedFlagged(&t.arena, keys, prios, origs)
+	t.promoted[li] = true
+	t.promotedCount++
+	t.addEntries(int64(len(keys)))
+}
+
+// ensureWritable makes slot li's live content an overlay treap.
+func (t *Tiered) ensureWritable(li int) {
+	t.ensureLoaded()
+	if !t.inOverlay(li) {
+		t.materialize(li)
+	}
+}
+
+// ensureLoaded finalizes an open streaming bulk-load writer so reads and
+// point mutations see a complete base. Slots never bulk-filled get empty
+// lists.
+func (t *Tiered) ensureLoaded() {
+	if t.w == nil {
+		return
+	}
+	empty := graph.AppendEmptyAdjSet(nil)
+	for t.w.Slots() < len(t.verts) {
+		if err := t.w.Append(empty); err != nil {
+			t.w.Abort()
+			t.w = nil
+			panic(fmt.Sprintf("store: finishing streamed base segment: %v", err))
+		}
+	}
+	seg, err := t.w.Finalize()
+	t.w = nil
+	if err != nil {
+		panic(fmt.Sprintf("store: finalizing streamed base segment: %v", err))
+	}
+	t.seg = seg
+}
+
+func (t *Tiered) addEntries(n int64) {
+	t.entries += n
+	if t.entries > t.hwm {
+		t.hwm = t.entries
+	}
+}
+
+// Len implements Store.
+func (t *Tiered) Len(li int) int {
+	t.ensureLoaded()
+	if t.inOverlay(li) {
+		return t.overlay[li].Len()
+	}
+	n, err := graph.AdjSetBytesLen(t.list(li))
+	if err != nil {
+		t.corrupt(li, err)
+	}
+	return n
+}
+
+// Originals implements Store.
+func (t *Tiered) Originals(li int) int {
+	t.ensureLoaded()
+	if t.inOverlay(li) {
+		return t.overlay[li].Originals()
+	}
+	cnt := 0
+	_, err := graph.WalkAdjSetBytes(t.list(li), t.verts[li], func(_ graph.Vertex, orig bool) bool {
+		if orig {
+			cnt++
+		}
+		return true
+	})
+	if err != nil {
+		t.corrupt(li, err)
+	}
+	return cnt
+}
+
+// Contains implements Store.
+func (t *Tiered) Contains(li int, v graph.Vertex) bool {
+	t.ensureLoaded()
+	if t.inOverlay(li) {
+		return t.overlay[li].Contains(v)
+	}
+	found := false
+	_, err := graph.WalkAdjSetBytes(t.list(li), t.verts[li], func(k graph.Vertex, _ bool) bool {
+		if k >= v {
+			found = k == v
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.corrupt(li, err)
+	}
+	return found
+}
+
+// Original implements Store.
+func (t *Tiered) Original(li int, v graph.Vertex) bool {
+	t.ensureLoaded()
+	if t.inOverlay(li) {
+		return t.overlay[li].Original(v)
+	}
+	res := false
+	_, err := graph.WalkAdjSetBytes(t.list(li), t.verts[li], func(k graph.Vertex, orig bool) bool {
+		if k >= v {
+			res = k == v && orig
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.corrupt(li, err)
+	}
+	return res
+}
+
+// Kth implements Store. Callers take the k-th entry to mutate the slot
+// right after (the engine's takeLocal), so the slot is promoted rather
+// than decoded twice.
+func (t *Tiered) Kth(li, k int) (graph.Vertex, bool) {
+	t.ensureWritable(li)
+	return t.overlay[li].Kth(k)
+}
+
+// Insert implements Store.
+func (t *Tiered) Insert(li int, v graph.Vertex, original bool, prio uint32) bool {
+	t.ensureWritable(li)
+	ok := t.overlay[li].InsertArena(&t.arena, v, original, prio)
+	if ok {
+		t.addEntries(1)
+		if t.loading {
+			t.loadedEntries++
+		}
+	}
+	return ok
+}
+
+// Delete implements Store.
+func (t *Tiered) Delete(li int, v graph.Vertex) (found, original bool) {
+	t.ensureWritable(li)
+	found, original = t.overlay[li].DeleteArena(&t.arena, v)
+	if found {
+		t.entries--
+	}
+	return found, original
+}
+
+// Drain implements Store. Draining an unpromoted slot streams the base
+// list through fn and marks the slot promoted-empty — the base copy is
+// dead, and reinserts land in the overlay.
+func (t *Tiered) Drain(li int, fn func(v graph.Vertex, original bool)) {
+	t.ensureLoaded()
+	if t.inOverlay(li) {
+		n := int64(t.overlay[li].Len())
+		t.overlay[li].DrainArena(&t.arena, fn)
+		t.entries -= n
+		return
+	}
+	_, err := graph.WalkAdjSetBytes(t.list(li), t.verts[li], func(v graph.Vertex, orig bool) bool {
+		fn(v, orig)
+		return true
+	})
+	if err != nil {
+		t.corrupt(li, err)
+	}
+	t.promoted[li] = true
+	t.promotedCount++
+}
+
+// Walk implements Store.
+func (t *Tiered) Walk(li int, fn func(v graph.Vertex, original bool) bool) {
+	t.ensureLoaded()
+	if t.inOverlay(li) {
+		t.overlay[li].Walk(fn)
+		return
+	}
+	if _, err := graph.WalkAdjSetBytes(t.list(li), t.verts[li], fn); err != nil {
+		t.corrupt(li, err)
+	}
+}
+
+// streamBuild routes an ascending-slot bulk load straight into a segment
+// writer, reporting whether it consumed the call. The first BuildSorted*
+// on a pristine store opens the writer; out-of-order or post-load calls
+// fall back to the overlay path.
+func (t *Tiered) streamBuild(li int, enc func([]byte, graph.Vertex) []byte) bool {
+	if t.w == nil {
+		if !t.loading || t.seg != nil || t.entries != 0 || t.promotedCount != 0 {
+			return false
+		}
+		path := filepath.Join(t.dir, segName(t.gen+1))
+		w, err := NewSegmentWriter(path, len(t.verts))
+		if err != nil {
+			panic(fmt.Sprintf("store: opening streamed base segment: %v", err))
+		}
+		t.gen++
+		t.w = w
+	}
+	if li < t.w.Slots() {
+		panic(fmt.Sprintf("store: bulk load revisited slot %d", li))
+	}
+	empty := graph.AppendEmptyAdjSet(nil)
+	for t.w.Slots() < li {
+		if err := t.w.Append(empty); err != nil {
+			panic(fmt.Sprintf("store: streaming base segment: %v", err))
+		}
+	}
+	t.encBuf = enc(t.encBuf[:0], t.verts[li])
+	if err := t.w.Append(t.encBuf); err != nil {
+		panic(fmt.Sprintf("store: streaming base segment: %v", err))
+	}
+	return true
+}
+
+// BuildSorted implements Store. Ascending-slot loads on a pristine store
+// stream straight to the base segment — no treaps are materialized, so
+// bootstrap memory is O(scratch), not O(|E_local|).
+func (t *Tiered) BuildSorted(li int, keys []graph.Vertex, prios []uint32, original bool) {
+	if t.loading {
+		t.loadedEntries += int64(len(keys))
+	}
+	if t.streamBuild(li, func(buf []byte, owner graph.Vertex) []byte {
+		return graph.AppendSortedAdj(buf, owner, keys, original)
+	}) {
+		return
+	}
+	t.ensureWritable(li)
+	t.overlay[li].BuildSorted(&t.arena, keys, prios, original)
+	t.addEntries(int64(len(keys)))
+}
+
+// BuildSortedFlagged implements Store; see BuildSorted.
+func (t *Tiered) BuildSortedFlagged(li int, keys []graph.Vertex, prios []uint32, origs []bool) {
+	if t.loading {
+		t.loadedEntries += int64(len(keys))
+	}
+	if t.streamBuild(li, func(buf []byte, owner graph.Vertex) []byte {
+		return graph.AppendSortedAdjFlagged(buf, owner, keys, origs)
+	}) {
+		return
+	}
+	t.ensureWritable(li)
+	t.overlay[li].BuildSortedFlagged(&t.arena, keys, prios, origs)
+	t.addEntries(int64(len(keys)))
+}
+
+// AppendEncoded implements Store. Unpromoted slots copy their base bytes
+// verbatim — the encoding is identical by construction.
+func (t *Tiered) AppendEncoded(buf []byte, li int) []byte {
+	t.ensureLoaded()
+	if t.inOverlay(li) {
+		return t.overlay[li].AppendAdjSet(buf, t.verts[li])
+	}
+	return append(buf, t.list(li)...)
+}
+
+// EndLoad implements Store: the partition is complete, so the first base
+// segment is established (a streamed writer finalizes; an Insert-loaded
+// overlay compacts) and the overlay budget resolves. After AdoptSegment
+// the budget is already resolved from the segment's size and the
+// loading phase is over, so the entry-count resolution (which would see
+// zero loaded entries) is skipped.
+func (t *Tiered) EndLoad() error {
+	if t.loading {
+		t.loading = false
+		t.budget = t.cfgBudget
+		if t.budget <= 0 {
+			t.budget = t.loadedEntries / 4
+			if t.budget < autoBudgetFloor {
+				t.budget = autoBudgetFloor
+			}
+		}
+	}
+	t.ensureLoaded()
+	return t.Compact()
+}
+
+// EndStep implements Store: past-budget overlays compact at step
+// boundaries, where no reads are outstanding.
+func (t *Tiered) EndStep() error {
+	if t.entries <= t.budget {
+		return nil
+	}
+	return t.Compact()
+}
+
+// Compact merges the overlay into a new base segment: one sequential
+// write of all nv slots — promoted slots re-encoded from their treaps
+// (nodes recycled to the arena as they go), unpromoted slots copied byte
+// for byte from the old mapping — then an atomic rename, after which the
+// old segment is unmapped and removed. A crash anywhere in between
+// leaves either the old or the new generation complete on disk.
+func (t *Tiered) Compact() error {
+	t.ensureLoaded()
+	if t.seg != nil && t.promotedCount == 0 {
+		return nil
+	}
+	start := clock.Now()
+	path := filepath.Join(t.dir, segName(t.gen+1))
+	w, err := NewSegmentWriter(path, len(t.verts))
+	if err != nil {
+		return err
+	}
+	for li := range t.verts {
+		if t.inOverlay(li) {
+			t.encBuf = t.overlay[li].AppendAdjSet(t.encBuf[:0], t.verts[li])
+			err = w.Append(t.encBuf)
+		} else {
+			err = w.Append(t.list(li))
+		}
+		if err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	seg, err := w.Finalize()
+	if err != nil {
+		return err
+	}
+	t.gen++
+	hadSeg := t.seg != nil
+	if hadSeg {
+		old := t.seg.Path()
+		_ = t.seg.Close()
+		_ = os.Remove(old)
+	}
+	t.seg = seg
+	for li := range t.verts {
+		// Without a prior base every slot lived in the overlay, flagged
+		// or not; with one, only promoted slots did.
+		if !hadSeg || t.promoted[li] {
+			t.promoted[li] = false
+			t.overlay[li].DrainArena(&t.arena, func(graph.Vertex, bool) {})
+		}
+	}
+	t.promotedCount = 0
+	t.entries = 0
+	t.compactions++
+	t.compactNs += int64(clock.Since(start))
+	return nil
+}
+
+// AdoptSegment installs an external base segment (a checkpoint's
+// hard-linked snapshot) as this store's base: the file is linked — or
+// copied across devices — into the spill directory as the next
+// generation, opened with a full CRC verification, and checked against
+// the expected identity. The store must be freshly created and empty.
+func (t *Tiered) AdoptSegment(path string, wantCRC uint32, wantSize int64) error {
+	if t.seg != nil || t.w != nil || t.entries != 0 {
+		return fmt.Errorf("store: AdoptSegment on a non-empty store")
+	}
+	t.gen++
+	dst := filepath.Join(t.dir, segName(t.gen))
+	if err := LinkOrCopy(path, dst); err != nil {
+		return fmt.Errorf("store: adopting segment %s: %w", path, err)
+	}
+	seg, err := OpenSegment(dst)
+	if err != nil {
+		return err
+	}
+	if seg.CRC() != wantCRC || seg.Size() != wantSize {
+		_ = seg.Close()
+		return fmt.Errorf("store: adopted segment %s is (crc %08x, %d bytes), manifest says (crc %08x, %d bytes)",
+			path, seg.CRC(), seg.Size(), wantCRC, wantSize)
+	}
+	if seg.NV() != len(t.verts) {
+		_ = seg.Close()
+		return fmt.Errorf("store: adopted segment %s holds %d slots, partition owns %d", path, seg.NV(), len(t.verts))
+	}
+	t.seg = seg
+	t.loading = false
+	if t.budget = t.cfgBudget; t.budget <= 0 {
+		// Entry counts are not framed in the segment; approximate the
+		// auto budget from its byte size (~1.5 encoded bytes per entry).
+		t.budget = seg.Size() / 6
+		if t.budget < autoBudgetFloor {
+			t.budget = autoBudgetFloor
+		}
+	}
+	return nil
+}
+
+// BasePath reports the current base segment's file (empty before the
+// first compaction). Checkpoints hard-link this file after Compact.
+func (t *Tiered) BasePath() string {
+	if t.seg == nil {
+		return ""
+	}
+	return t.seg.Path()
+}
+
+// BaseCRC reports the current base segment's trailer CRC32C.
+func (t *Tiered) BaseCRC() uint32 { return t.seg.CRC() }
+
+// BaseSize reports the current base segment's byte size.
+func (t *Tiered) BaseSize() int64 { return t.seg.Size() }
+
+// Stats implements Store.
+func (t *Tiered) Stats() Stats {
+	s := Stats{
+		OverlayEntries: t.entries,
+		OverlayHWM:     t.hwm,
+		Compactions:    t.compactions,
+		CompactNs:      t.compactNs,
+	}
+	if t.seg != nil {
+		s.BaseBytes = t.seg.Size()
+	}
+	return s
+}
+
+// Close implements Store: the mapping is released and the rank's spill
+// directory removed. Checkpoint hard links keep their segment inodes
+// alive independently.
+func (t *Tiered) Close() error {
+	if t.w != nil {
+		t.w.Abort()
+		t.w = nil
+	}
+	var err error
+	if t.seg != nil {
+		err = t.seg.Close()
+		t.seg = nil
+	}
+	if rerr := os.RemoveAll(t.dir); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// LinkOrCopy hard-links src to dst — sharing the inode, so immutable
+// base segments cost nothing to publish into a checkpoint — and falls
+// back to a byte copy across devices or on filesystems without links.
+func LinkOrCopy(src, dst string) error {
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	return copyFile(src, dst)
+}
+
+// copyFile is LinkOrCopy's cross-device fallback.
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		_ = out.Close()
+		return err
+	}
+	return out.Close()
+}
